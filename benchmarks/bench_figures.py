@@ -1,0 +1,31 @@
+"""Benchmarks: regenerate each paper figure and the ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations, figure3, figure6, figure7
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure3(benchmark, ctx):
+    result = benchmark(figure3.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure6(benchmark, ctx):
+    result = benchmark(figure6.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure7(benchmark, ctx):
+    result = benchmark(figure7.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_ablations(benchmark, ctx):
+    result = benchmark(ablations.run, ctx)
+    assert result.rows

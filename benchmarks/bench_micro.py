@@ -1,0 +1,124 @@
+"""Micro-benchmarks of the library's hot paths: tokenization, hidden-state
+synthesis, probe training, conformal calibration, generation, execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformal.split import SplitConformalBinary
+from repro.core.pipeline import RTSPipeline
+from repro.linking.dataset import collect_branch_dataset
+from repro.llm.tokenizer import tokenize_items
+from repro.llm.trie import ItemTrie
+from repro.probes.mlp import MLPClassifier, MLPConfig
+from repro.sqlengine.executor import Executor
+
+
+@pytest.fixture(scope="module")
+def branch_data(ctx):
+    bench = ctx.benchmark("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table") for e in bench.train
+    ]
+    return collect_branch_dataset(ctx.llm, instances)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_tokenizer(benchmark, ctx):
+    names = [
+        t.name
+        for pdb in ctx.benchmark("bird").databases.values()
+        for t in pdb.schema.tables
+    ]
+    benchmark(lambda: [tokenize_items(names) for _ in range(100)])
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_trie_construction(benchmark, ctx):
+    names = [
+        f"{t.name}.{c.name}"
+        for pdb in ctx.benchmark("bird").databases.values()
+        for t in pdb.schema.tables
+        for c in t.columns
+    ]
+    benchmark(ItemTrie, names)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_hidden_state_synthesis(benchmark, ctx):
+    synth = ctx.llm.hidden
+
+    def run():
+        for i in range(50):
+            synth.hidden_states("bench-inst", i, "tok", "prev", 0, 0, False)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_free_generation(benchmark, ctx):
+    bench = ctx.benchmark("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table")
+        for e in bench.dev.examples[:8]
+    ]
+    benchmark(lambda: [ctx.llm.generate(i) for i in instances])
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_teacher_forcing(benchmark, ctx):
+    bench = ctx.benchmark("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table")
+        for e in bench.dev.examples[:8]
+    ]
+    benchmark(lambda: [ctx.llm.teacher_forced_trace(i) for i in instances])
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_mlp_training(benchmark, branch_data):
+    X = branch_data.layer(7)
+    y = branch_data.labels.astype(float)
+    benchmark(
+        lambda: MLPClassifier(MLPConfig(epochs=10), seed=0).fit(X, y)
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_conformal_calibration(benchmark):
+    rng = np.random.default_rng(0)
+    p1 = rng.random(5000)
+    probs = np.stack([1 - p1, p1], axis=1)
+    labels = (rng.random(5000) < p1).astype(int)
+    benchmark(
+        lambda: SplitConformalBinary(alpha=0.1, mondrian=True).fit(probs, labels)
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_mbpp_inference(benchmark, ctx, branch_data):
+    mbpp = ctx.pipeline("bird").mbpp("table")
+    benchmark(mbpp.predict_dataset, branch_data)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_sql_execution(benchmark, ctx):
+    bench = ctx.benchmark("bird")
+    executor = Executor(bench.databases)
+    examples = bench.dev.examples[:20]
+    # Warm connections so the benchmark times query execution.
+    for e in examples:
+        executor.execute(e.db_id, e.gold_sql)
+    benchmark(lambda: [executor.execute(e.db_id, e.gold_sql) for e in examples])
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_rts_link_abstain(benchmark, ctx):
+    bench = ctx.benchmark("bird")
+    pipe = ctx.pipeline("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table")
+        for e in bench.dev.examples[:8]
+    ]
+    benchmark(lambda: [pipe.link(i, mode="abstain") for i in instances])

@@ -1,0 +1,74 @@
+"""Benchmarks: regenerate each paper table (tiny scale).
+
+Run: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table1(benchmark, ctx):
+    result = benchmark(table1.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table2(benchmark, ctx):
+    result = benchmark(table2.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table3(benchmark, ctx):
+    result = benchmark(table3.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table4(benchmark, ctx):
+    result = benchmark(table4.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table5(benchmark, ctx):
+    result = benchmark(table5.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table6(benchmark, ctx):
+    result = benchmark(table6.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table7(benchmark, ctx):
+    result = benchmark(table7.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table8(benchmark, ctx):
+    result = benchmark(table8.run, ctx)
+    assert result.rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table9(benchmark, ctx):
+    result = benchmark(table9.run, ctx)
+    assert result.rows

@@ -1,0 +1,24 @@
+"""Benchmark fixtures: a shared tiny experiment context.
+
+The per-table benchmarks time the *experiment regeneration path* at tiny
+scale (pytest-benchmark needs repeatable sub-minute runs); the printed
+EXPERIMENTS.md evidence is produced separately at the default scale via
+``python -m repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext.tiny()
+    # Pre-build the heavyweight shared artifacts so benchmarks time the
+    # experiment logic, not one-off corpus construction.
+    for name in ("bird", "spider"):
+        context.pipeline(name)
+        context.surrogate(name)
+    return context

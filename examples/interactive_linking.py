@@ -1,0 +1,71 @@
+"""Human-in-the-loop linking: watch RTS ask questions and repair itself.
+
+Replays the paper's Figure 2 interaction on generated BIRD questions:
+when the mBPP flags a branching point, Algorithm 2 traces it back to the
+suspect table, the (simulated) human confirms or corrects, and
+generation continues. Prints a transcript of every interaction.
+
+    python examples/interactive_linking.py
+"""
+
+from repro.abstention import EXPERT, HumanOracle, trace_back
+from repro.corpus import BirdBuilder, CorpusScale
+from repro.core import RTSConfig, RTSPipeline
+from repro.llm import TransparentLLM
+from repro.llm.tokenizer import tokenize_items
+
+
+def link_with_transcript(pipeline, instance, human):
+    """The pipeline's HUMAN mode, instrumented to print the dialogue."""
+    mbpp = pipeline.mbpp(instance.task)
+    session = pipeline.llm.start_session(instance)
+    gold_stream = tokenize_items(instance.gold_items)
+    questions = 0
+    while not session.done:
+        step = session.propose()
+        if not mbpp.is_branching(step.hidden, key=(instance.instance_id, step.position)):
+            session.commit()
+            continue
+        result = trace_back(session)
+        questions += 1
+        print(f'  RTS: I am unsure about {list(result.items)!r} — relevant? ')
+        answer = human.confirm_relevance(instance, result.items, questions)
+        if answer:
+            print("  User: yes, keep it.")
+            session.commit()
+            continue
+        print("  User: no — the correct continuation is", instance.gold_items)
+        if session.aligned and session.n_committed < len(gold_stream):
+            session.force_token(gold_stream[session.n_committed])
+        else:
+            session.commit()
+    return session.trace().items, questions
+
+
+def main() -> None:
+    bench = BirdBuilder(seed=7, scale=CorpusScale.tiny()).build()
+    llm = TransparentLLM(seed=11)
+    pipeline = RTSPipeline(llm, RTSConfig(seed=3)).fit_benchmark(bench, tasks=("table",))
+    human = HumanOracle(EXPERT, seed=9)
+
+    shown = 0
+    for example in bench.dev:
+        instance = RTSPipeline.instance_for(example, bench, "table")
+        unassisted = llm.generate(instance).items
+        if set(unassisted) == set(instance.gold_items):
+            continue  # only show the interesting (erroneous) cases
+        print(f"\nQ: {example.question}")
+        print(f"  (unassisted linking would answer {list(unassisted)!r})")
+        items, n_questions = link_with_transcript(pipeline, instance, human)
+        verdict = "correct" if set(items) == set(instance.gold_items) else "wrong"
+        print(f"  => final linking: {list(items)!r} [{verdict}, "
+              f"{n_questions} question(s) asked; gold {list(instance.gold_items)!r}]")
+        shown += 1
+        if shown >= 4:
+            break
+    if not shown:
+        print("No erroneous generations in this tiny sample — rerun with a new seed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Abstention mitigation: Algorithm 2 trace-back, the surrogate filter,
+and the simulated human oracle (§3.3).
+"""
+
+from repro.abstention.traceback import TraceBackResult, trace_back
+from repro.abstention.surrogate import SurrogateFilter
+from repro.abstention.human import HumanOracle, HumanProfile, BEGINNER, EXPERT
+
+__all__ = [
+    "TraceBackResult",
+    "trace_back",
+    "SurrogateFilter",
+    "HumanOracle",
+    "HumanProfile",
+    "BEGINNER",
+    "EXPERT",
+]

@@ -1,0 +1,98 @@
+"""Simulated human participants (§4.3 user study).
+
+The paper measured how accurately beginners and experts answer the
+RTS-generated relevance questions (Table 9): near-perfect on simple
+questions, degrading with difficulty, columns harder than tables, and
+beginners degrading faster. :class:`HumanOracle` reproduces those
+measured answer-accuracy rates; the interaction protocol itself (confirm
+the traced-back item, else supply the correct one) lives in the RTS
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linking.instance import COLUMN_TASK, SchemaLinkingInstance, TABLE_TASK
+from repro.utils.rng import spawn
+
+__all__ = ["HumanProfile", "HumanOracle", "BEGINNER", "EXPERT"]
+
+
+@dataclass(frozen=True)
+class HumanProfile:
+    """Answer accuracy by task and question difficulty (Table 9)."""
+
+    name: str
+    table_accuracy: dict
+    column_accuracy: dict
+
+    def accuracy(self, task: str, difficulty: str) -> float:
+        table = self.table_accuracy if task == TABLE_TASK else self.column_accuracy
+        try:
+            return float(table[difficulty])
+        except KeyError:
+            raise KeyError(
+                f"profile {self.name!r} has no accuracy for "
+                f"({task}, {difficulty})"
+            ) from None
+
+
+# Table 9's measured answer accuracies.
+BEGINNER = HumanProfile(
+    name="beginner",
+    table_accuracy={"simple": 1.00, "moderate": 0.96, "challenging": 0.93},
+    column_accuracy={"simple": 1.00, "moderate": 0.92, "challenging": 0.89},
+)
+EXPERT = HumanProfile(
+    name="expert",
+    table_accuracy={"simple": 1.00, "moderate": 1.00, "challenging": 0.99},
+    column_accuracy={"simple": 1.00, "moderate": 0.97, "challenging": 0.94},
+)
+
+
+class HumanOracle:
+    """A participant answering RTS questions with profile-driven accuracy."""
+
+    def __init__(self, profile: HumanProfile = EXPERT, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+        self._n_questions = 0
+        self._n_correct = 0
+
+    @property
+    def questions_asked(self) -> int:
+        return self._n_questions
+
+    @property
+    def answer_accuracy(self) -> float:
+        if not self._n_questions:
+            return float("nan")
+        return self._n_correct / self._n_questions
+
+    def _answers_correctly(
+        self, instance: SchemaLinkingInstance, query_index: int
+    ) -> bool:
+        accuracy = self.profile.accuracy(instance.task, instance.difficulty)
+        rng = spawn(
+            self.seed, "human", self.profile.name, instance.instance_id, query_index
+        )
+        return bool(rng.random() < accuracy)
+
+    def confirm_relevance(
+        self,
+        instance: SchemaLinkingInstance,
+        items: "tuple[str, ...]",
+        query_index: int,
+    ) -> bool:
+        """Answer "are these items relevant to the question?".
+
+        Ground truth is relevance against the instance's gold items; the
+        answer flips with probability 1 - accuracy(task, difficulty).
+        """
+        gold = {g.lower() for g in instance.gold_items}
+        truth = bool(items) and all(item.lower() in gold for item in items)
+        correct = self._answers_correctly(instance, query_index)
+        self._n_questions += 1
+        self._n_correct += int(correct)
+        return truth if correct else not truth

@@ -1,0 +1,87 @@
+"""Algorithm 2: Table Trace Back.
+
+Maps a detected branching point back to the schema item(s) it is
+attributed to: decode the committed tokens with and without the branching
+token; the set difference is the suspect item. When the difference is
+empty (the branching token is mid-item), let the model continue (here:
+*peek*, without committing) until a new item decodes or EOS.
+
+On EOS the paper returns ``T[-1:]``; we interpret this as the most
+recently decoded item — the subject of the model's decision to stop. A
+consequence (faithful to the algorithm) is that omission errors attribute
+to an item that is genuinely relevant, so even a perfect assistant
+confirms it and the omission slips through; this is a real failure mode
+bounded by the omission share of errors and visible in Table 6's
+sub-100% EM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.model import GenerationSession
+from repro.llm.tokenizer import EOS, SEP, detokenize
+
+__all__ = ["TraceBackResult", "trace_back"]
+
+
+@dataclass(frozen=True)
+class TraceBackResult:
+    """Outcome of Algorithm 2 at one branching point."""
+
+    items: tuple[str, ...]
+    hit_eos: bool
+    lookahead: tuple[str, ...]
+
+    @property
+    def empty(self) -> bool:
+        return not self.items
+
+
+def _decode_complete(tokens: "tuple[str, ...] | list[str]", candidates: set) -> list[str]:
+    """Items decodable from ``tokens`` that name actual candidates."""
+    return [item for item in detokenize(tokens) if item in candidates]
+
+
+def trace_back(session: GenerationSession, max_lookahead: int = 64) -> TraceBackResult:
+    """Run Algorithm 2 against the session's pending proposal.
+
+    The session must have a pending proposal (the detected branching
+    token). Nothing is committed: the model's continuation is *peeked*,
+    so the caller remains free to abstain, confirm, or correct.
+    """
+    step = session.propose()
+    candidates = set(session.instance.candidates)
+    committed = list(session.committed_tokens)
+    t_pre = set(_decode_complete(committed, candidates))
+
+    peeked = session.peek_tokens(max_lookahead)
+    if not peeked or peeked[0] != step.proposed:
+        raise RuntimeError("peek does not start at the pending proposal")
+
+    stream = committed.copy()
+    consumed: list[str] = []
+    hit_eos = False
+    for token in peeked:
+        stream.append(token)
+        consumed.append(token)
+        if token == EOS:
+            hit_eos = True
+            break
+        new = [
+            item
+            for item in _decode_complete(stream, candidates)
+            if item not in t_pre
+        ]
+        if new:
+            return TraceBackResult(
+                items=tuple(dict.fromkeys(new)),
+                hit_eos=False,
+                lookahead=tuple(consumed),
+            )
+    if hit_eos:
+        # Paper: "return T_b <- T[-1:]" — the most recent decoded item.
+        decoded = _decode_complete(stream, candidates)
+        items = (decoded[-1],) if decoded else ()
+        return TraceBackResult(items=items, hit_eos=True, lookahead=tuple(consumed))
+    return TraceBackResult(items=(), hit_eos=False, lookahead=tuple(consumed))

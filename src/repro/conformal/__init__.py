@@ -1,0 +1,24 @@
+"""Conformal prediction: split/Mondrian calibration, the non-exchangeable
+KNN-weighted variant, and multi-set aggregation (majority vote and the
+random-permutation method of Algorithm 1).
+"""
+
+from repro.conformal.nonconformity import one_minus_true_prob
+from repro.conformal.split import SplitConformalBinary
+from repro.conformal.nonexchangeable import NonexchangeableConformalBinary
+from repro.conformal.aggregate import (
+    majority_vote,
+    random_permutation,
+    majority_guarantee,
+    majority_size_bound,
+)
+
+__all__ = [
+    "one_minus_true_prob",
+    "SplitConformalBinary",
+    "NonexchangeableConformalBinary",
+    "majority_vote",
+    "random_permutation",
+    "majority_guarantee",
+    "majority_size_bound",
+]

@@ -1,0 +1,95 @@
+"""Aggregation of per-layer prediction sets (paper §3.2.3).
+
+Two aggregators:
+
+* :func:`majority_vote` — ``C_theta``: labels appearing in more than a
+  ``theta`` fraction of the sets. Theorem 1 gives the coverage bound
+  ``1 - alpha / (1 - theta)``; Theorem 2 bounds the aggregate size.
+* :func:`random_permutation` — Algorithm 1: intersect the majority sets
+  of every prefix of a random permutation. Theorem 3: same ``1 - 2 alpha``
+  worst-case coverage as theta=1/2 majority voting, with a set never
+  larger (often smaller).
+
+Note on Algorithm 1 as printed: the paper initializes ``C_pi`` to the
+empty set and then intersects, which would always yield the empty set; we
+initialize to the full label universe, matching the accompanying prose
+("elements supported by each prediction set across all prefixes") and the
+proof of Theorem 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "majority_vote",
+    "random_permutation",
+    "majority_guarantee",
+    "majority_size_bound",
+]
+
+_LABELS = (0, 1)
+
+
+def majority_vote(
+    sets: "Sequence[frozenset[int]]",
+    theta: float = 0.5,
+    strict: bool = True,
+    labels: "tuple[int, ...]" = _LABELS,
+) -> frozenset[int]:
+    """``C_theta``: labels in more than (``>=`` when not strict) a theta
+    fraction of the prediction sets."""
+    if not sets:
+        raise ValueError("need at least one prediction set")
+    if not 0.0 <= theta < 1.0:
+        raise ValueError(f"theta must be in [0, 1), got {theta}")
+    n = len(sets)
+    out = []
+    for label in labels:
+        count = sum(1 for s in sets if label in s)
+        frac = count / n
+        if (frac > theta) if strict else (frac >= theta):
+            out.append(label)
+    return frozenset(out)
+
+
+def random_permutation(
+    sets: "Sequence[frozenset[int]]",
+    rng: np.random.Generator,
+    labels: "tuple[int, ...]" = _LABELS,
+) -> frozenset[int]:
+    """Algorithm 1: prefix-majority intersection over a random permutation."""
+    if not sets:
+        raise ValueError("need at least one prediction set")
+    order = rng.permutation(len(sets))
+    result = set(labels)
+    counts = {label: 0 for label in labels}
+    for i, idx in enumerate(order, start=1):
+        s = sets[int(idx)]
+        for label in labels:
+            if label in s:
+                counts[label] += 1
+        prefix_set = {label for label in labels if counts[label] >= i / 2.0}
+        result &= prefix_set
+        if not result:
+            break
+    return frozenset(result)
+
+
+def majority_guarantee(alpha: float, theta: float = 0.5) -> float:
+    """Theorem 1's coverage lower bound ``1 - alpha / (1 - theta)``."""
+    if not 0.0 <= theta < 1.0:
+        raise ValueError(f"theta must be in [0, 1), got {theta}")
+    return max(0.0, 1.0 - alpha / (1.0 - theta))
+
+
+def majority_size_bound(sizes: "Iterable[int]", theta: float = 0.5) -> float:
+    """Theorem 2's size bound ``(1 / (n * theta)) * sum |C_i|``."""
+    sizes = list(sizes)
+    if not sizes:
+        raise ValueError("need at least one set size")
+    if theta <= 0.0:
+        return float("inf")
+    return sum(sizes) / (len(sizes) * theta)

@@ -1,0 +1,33 @@
+"""Nonconformity measures.
+
+The paper uses the classic softmax-based score: ``1 - p(y* | x)`` where
+``p`` comes from the underlying classifier (§3.2.2). Higher = the point
+conforms less with the training distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["one_minus_true_prob"]
+
+
+def one_minus_true_prob(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """``1 - p(y_true | x)`` for each calibration point.
+
+    Parameters
+    ----------
+    probs:
+        ``(n, n_classes)`` class-probability matrix.
+    labels:
+        ``(n,)`` integer class labels.
+    """
+    probs = np.asarray(probs, dtype=float)
+    labels = np.asarray(labels, dtype=int).ravel()
+    if probs.ndim != 2:
+        raise ValueError("probs must be 2-D (n, n_classes)")
+    if labels.shape[0] != probs.shape[0]:
+        raise ValueError("probs and labels must align")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= probs.shape[1]:
+        raise ValueError("labels out of range for probs")
+    return 1.0 - probs[np.arange(len(labels)), labels]

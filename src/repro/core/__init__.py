@@ -1,0 +1,14 @@
+"""The RTS framework: configuration, outcomes, and the end-to-end pipeline."""
+
+from repro.core.config import RTSConfig
+from repro.core.results import AbstentionReport, JointOutcome, LinkOutcome, build_report
+from repro.core.pipeline import RTSPipeline
+
+__all__ = [
+    "RTSConfig",
+    "AbstentionReport",
+    "JointOutcome",
+    "LinkOutcome",
+    "build_report",
+    "RTSPipeline",
+]

@@ -1,0 +1,54 @@
+"""RTS pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.probes.mlp import MLPConfig
+
+__all__ = ["RTSConfig", "ABSTAIN", "SURROGATE", "HUMAN"]
+
+ABSTAIN = "abstain"
+SURROGATE = "surrogate"
+HUMAN = "human"
+
+MITIGATION_MODES = (ABSTAIN, SURROGATE, HUMAN)
+
+
+@dataclass(frozen=True)
+class RTSConfig:
+    """Knobs of the RTS pipeline (paper §4.1, Implementation Details).
+
+    Defaults follow the paper: error level ``alpha = 0.1``, ``k = 5``
+    best sBPPs, random-permutation aggregation, split conformal with
+    Mondrian (class-conditional) calibration — see DESIGN.md §5 for why
+    Mondrian is the default.
+
+    ``train_fraction`` is the share of the training split used to build
+    D_branch ("approximately 10% of the training set" at the paper's
+    scale; 1.0 by default here because the scaled-down corpora are ~10x
+    smaller to begin with).
+    """
+
+    alpha: float = 0.1
+    k: int = 5
+    theta: float = 0.5
+    aggregation: str = "permutation"  # or "majority"
+    mondrian: bool = True
+    conformal_mode: str = "split"  # or "nonexchangeable"
+    calib_fraction: float = 0.5
+    train_fraction: float = 1.0
+    seed: int = 0
+    mlp: "MLPConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 < self.calib_fraction < 1.0:
+            raise ValueError("calib_fraction must be in (0, 1)")
+        if not 0.0 < self.train_fraction <= 1.0:
+            raise ValueError("train_fraction must be in (0, 1]")
+        if self.aggregation not in ("permutation", "majority"):
+            raise ValueError(f"unknown aggregation {self.aggregation!r}")

@@ -1,0 +1,143 @@
+"""RTS outcome types and the TAR / FAR / EM accounting (§4.2).
+
+The paper's prose defines (our implementation follows the prose; the
+displayed formulas are swapped relative to it — DESIGN.md §5):
+
+* TAR — abstentions that *correctly* capture instances the model would
+  have gotten wrong;
+* FAR — abstentions on instances the model would have answered
+  correctly (unnecessary abstention);
+* EM — exact set match over the instances the model answered.
+
+In human-feedback mode the generation always completes; "abstain" there
+means "solicited the human at least once", matching Table 6's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linking.instance import SchemaLinkingInstance
+from repro.linking.metrics import evaluate_linking
+
+__all__ = ["LinkOutcome", "JointOutcome", "AbstentionReport", "build_report"]
+
+
+@dataclass
+class LinkOutcome:
+    """RTS outcome for one linking instance."""
+
+    instance: SchemaLinkingInstance
+    predicted: "tuple[str, ...] | None"  # None = abstained outright
+    unassisted: tuple[str, ...]  # what free generation would have produced
+    abstained: bool
+    flags: int  # branching detections
+    interventions: int  # human corrections applied
+    questions_asked: int = 0
+    swaps: "list[tuple[str, str]]" = field(default_factory=list)
+
+    @property
+    def signalled(self) -> bool:
+        """Whether RTS raised its hand (abstained or consulted a human)."""
+        return self.abstained or self.questions_asked > 0
+
+    @property
+    def unassisted_correct(self) -> bool:
+        return {i.lower() for i in self.unassisted} == {
+            i.lower() for i in self.instance.gold_items
+        }
+
+    @property
+    def answered(self) -> bool:
+        return self.predicted is not None
+
+    @property
+    def correct(self) -> bool:
+        if self.predicted is None:
+            return False
+        return {i.lower() for i in self.predicted} == {
+            i.lower() for i in self.instance.gold_items
+        }
+
+
+@dataclass
+class JointOutcome:
+    """RTS outcome for the joint table->column pipeline on one example."""
+
+    example_id: str
+    tables: "tuple[str, ...] | None"
+    columns: "tuple[str, ...] | None"  # qualified table.column items
+    gold_tables: tuple[str, ...]
+    gold_columns: tuple[str, ...]
+    abstained: bool
+    signalled: bool
+    unassisted_tables_correct: bool
+    unassisted_columns_correct: bool
+
+    @property
+    def tables_correct(self) -> bool:
+        if self.tables is None:
+            return False
+        return {t.lower() for t in self.tables} == {
+            t.lower() for t in self.gold_tables
+        }
+
+    @property
+    def columns_correct(self) -> bool:
+        if self.columns is None:
+            return False
+        return {c.lower() for c in self.columns} == {
+            c.lower() for c in self.gold_columns
+        }
+
+    @property
+    def unassisted_correct(self) -> bool:
+        return self.unassisted_tables_correct and self.unassisted_columns_correct
+
+
+@dataclass(frozen=True)
+class AbstentionReport:
+    """Aggregate EM / TAR / FAR over a collection of outcomes."""
+
+    em: float
+    tar: float
+    far: float
+    n: int
+    n_answered: int
+    precision: float = float("nan")
+    recall: float = float("nan")
+
+    @property
+    def abstention_rate(self) -> float:
+        return self.tar + self.far
+
+    def as_row(self) -> tuple[float, float, float]:
+        """Percent-scaled (EM, TAR, FAR) — Tables 5/6 layout."""
+        return (100.0 * self.em, 100.0 * self.tar, 100.0 * self.far)
+
+
+def build_report(outcomes: "list[LinkOutcome]") -> AbstentionReport:
+    """TAR / FAR / EM accounting over per-instance outcomes."""
+    if not outcomes:
+        return AbstentionReport(float("nan"), float("nan"), float("nan"), 0, 0)
+    n = len(outcomes)
+    tar = sum(1 for o in outcomes if o.signalled and not o.unassisted_correct) / n
+    far = sum(1 for o in outcomes if o.signalled and o.unassisted_correct) / n
+    answered = [o for o in outcomes if o.answered]
+    if answered:
+        em = sum(1 for o in answered if o.correct) / len(answered)
+        metrics = evaluate_linking(
+            [(o.instance.gold_items, o.predicted) for o in answered]
+        )
+        precision, recall = metrics.precision, metrics.recall
+    else:
+        em, precision, recall = float("nan"), float("nan"), float("nan")
+    return AbstentionReport(
+        em=em,
+        tar=tar,
+        far=far,
+        n=n,
+        n_answered=len(answered),
+        precision=precision,
+        recall=recall,
+    )

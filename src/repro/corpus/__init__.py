@@ -1,0 +1,44 @@
+"""Synthetic text-to-SQL benchmark corpus.
+
+Builds Spider-like (clean) and BIRD-like (dirty, knowledge-augmented)
+benchmarks: databases with FK-consistent data, natural-language questions,
+gold SQL as an AST, gold schema links and difficulty labels — everything
+the RTS evaluation protocol needs.
+
+The real Spider/BIRD releases are not redistributable and unavailable
+offline; see DESIGN.md §2 for why this synthetic substitution preserves
+the behaviours the paper measures.
+"""
+
+from repro.corpus.sqlast import (
+    ColumnRef,
+    Condition,
+    JoinEdge,
+    OrderTerm,
+    SelectItem,
+    SelectQuery,
+    Subquery,
+)
+from repro.corpus.dataset import Benchmark, Example, InstanceFeatures, Split
+from repro.corpus.generator import CorpusScale, DatabaseFactory, PopulatedDatabase
+from repro.corpus.spider import SpiderBuilder
+from repro.corpus.bird import BirdBuilder
+
+__all__ = [
+    "ColumnRef",
+    "Condition",
+    "JoinEdge",
+    "OrderTerm",
+    "SelectItem",
+    "SelectQuery",
+    "Subquery",
+    "Benchmark",
+    "Example",
+    "InstanceFeatures",
+    "Split",
+    "CorpusScale",
+    "DatabaseFactory",
+    "PopulatedDatabase",
+    "SpiderBuilder",
+    "BirdBuilder",
+]

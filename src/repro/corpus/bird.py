@@ -1,0 +1,41 @@
+"""BIRD-like benchmark builder.
+
+BIRD's signature properties, mirrored here: *dirty* identifiers retaining
+real-world abbreviations (``EdOps``, ``T_BIL``), partially missing column
+descriptions, external-knowledge snippets that some questions need, and a
+heavier difficulty mix. These are exactly the hazards the paper's Figure 1
+attributes schema-linking errors to, and they drive the simulated linker's
+error propensity (emergently — there are no per-benchmark accuracy
+constants anywhere in the library).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.builders import assemble_benchmark
+from repro.corpus.dataset import Benchmark
+from repro.corpus.generator import CorpusScale
+from repro.schema.naming import NamingStyle
+
+__all__ = ["BirdBuilder"]
+
+
+class BirdBuilder:
+    """Builds a BIRD-like dirty, knowledge-augmented benchmark."""
+
+    DIFFICULTY_MIX = {"simple": 0.30, "moderate": 0.40, "challenging": 0.30}
+    KNOWLEDGE_FRACTION = 0.25
+
+    def __init__(self, seed: int = 0, scale: "CorpusScale | None" = None):
+        self.seed = seed
+        self.scale = scale or CorpusScale.small()
+
+    def build(self) -> Benchmark:
+        return assemble_benchmark(
+            name="bird",
+            seed=self.seed,
+            scale=self.scale,
+            style_for=lambda i: NamingStyle.DIRTY,
+            difficulty_mix=self.DIFFICULTY_MIX,
+            keep_knowledge=True,
+            knowledge_fraction=self.KNOWLEDGE_FRACTION,
+        )

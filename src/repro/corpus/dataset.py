@@ -1,0 +1,136 @@
+"""Dataset containers: examples, splits, and whole benchmarks.
+
+An :class:`Example` packages one natural-language question with its gold
+SQL AST, gold schema links, difficulty tier, and the instance features
+that drive the simulated linker's error propensity (see
+:mod:`repro.llm.errors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.generator import PopulatedDatabase
+from repro.corpus.sqlast import SelectQuery
+from repro.schema.catalog import Catalog
+
+__all__ = ["InstanceFeatures", "Example", "Split", "Benchmark", "DIFFICULTIES"]
+
+DIFFICULTIES = ("simple", "moderate", "challenging")
+
+
+@dataclass(frozen=True)
+class InstanceFeatures:
+    """Measured linking-difficulty features of one example.
+
+    These are *observable properties of the (question, schema) pair* —
+    ambiguous surface terms, dirty identifier gaps, schema size — not
+    labels. The simulated LLM converts them into an error propensity the
+    same way a real fine-tuned linker's error rate grows with ambiguity
+    and missing metadata (paper §1, Figure 1).
+    """
+
+    table_ambiguity: float
+    column_ambiguity: float
+    dirty_gap: float
+    needs_knowledge: bool
+    n_tables: int
+    n_gold_tables: int
+    n_gold_columns: int
+
+    def __post_init__(self) -> None:
+        for name in ("table_ambiguity", "column_ambiguity", "dirty_gap"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+
+
+@dataclass(frozen=True)
+class Example:
+    """One benchmark sample: question, gold SQL, gold links, metadata."""
+
+    example_id: str
+    db_id: str
+    question: str
+    query: SelectQuery
+    difficulty: str
+    features: InstanceFeatures
+    knowledge: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.difficulty not in DIFFICULTIES:
+            raise ValueError(f"unknown difficulty {self.difficulty!r}")
+
+    @property
+    def gold_sql(self) -> str:
+        return self.query.render()
+
+    @property
+    def gold_tables(self) -> tuple[str, ...]:
+        return self.query.tables_used()
+
+    @property
+    def gold_columns(self) -> dict[str, tuple[str, ...]]:
+        return self.query.columns_used()
+
+
+@dataclass
+class Split:
+    """A named list of examples (train / dev / test)."""
+
+    name: str
+    examples: list[Example] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    def by_difficulty(self, difficulty: str) -> list[Example]:
+        return [e for e in self.examples if e.difficulty == difficulty]
+
+    def subset(self, n: int) -> "Split":
+        return Split(self.name, self.examples[:n])
+
+
+@dataclass
+class Benchmark:
+    """A complete benchmark: databases (with data) plus question splits."""
+
+    name: str
+    databases: dict[str, PopulatedDatabase]
+    train: Split
+    dev: Split
+    test: Split
+
+    def database(self, db_id: str) -> PopulatedDatabase:
+        return self.databases[db_id]
+
+    def split(self, name: str) -> Split:
+        try:
+            return {"train": self.train, "dev": self.dev, "test": self.test}[name]
+        except KeyError:
+            raise KeyError(f"no split {name!r} in benchmark {self.name!r}") from None
+
+    @property
+    def catalog(self) -> Catalog:
+        cat = Catalog(self.name)
+        for pdb in self.databases.values():
+            cat.add(pdb.schema)
+        return cat
+
+    def card(self) -> dict[str, object]:
+        """A dataset card with the headline statistics."""
+        return {
+            "name": self.name,
+            "databases": len(self.databases),
+            "train": len(self.train),
+            "dev": len(self.dev),
+            "test": len(self.test),
+            "dirty": any(p.schema.dirty for p in self.databases.values()),
+            **{
+                f"dev_{d}": len(self.dev.by_difficulty(d))
+                for d in DIFFICULTIES
+            },
+        }

@@ -1,0 +1,625 @@
+"""Question generation: templates that jointly emit NL text and gold SQL.
+
+Every template phrases its question with the *semantic surface forms* of
+tables/columns (``lap times``, ``education operations``) regardless of the
+physical identifiers (``lapTimes``, ``EdOps``). On a dirty (BIRD-like)
+schema this opens the semantic gap the paper identifies as the main
+linking hazard; on a clean schema the surface form nearly matches the
+identifier.
+
+Templates are grouped by difficulty tier to match the benchmark's
+simple / moderate / challenging classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.dataset import DIFFICULTIES, Example, InstanceFeatures
+from repro.corpus.generator import PopulatedDatabase
+from repro.corpus.sqlast import (
+    ColumnRef,
+    Condition,
+    JoinEdge,
+    OrderTerm,
+    SelectItem,
+    SelectQuery,
+    Subquery,
+)
+from repro.schema.column import Column
+from repro.schema.database import Database
+from repro.schema.table import Table
+
+__all__ = ["QuestionFactory", "compute_features"]
+
+# Words too common to signal ambiguity (every table has ids/names/dates).
+_STOPWORDS = {"id", "name", "date", "year", "count", "number", "city", "type"}
+
+_OP_PHRASE = {
+    "=": "equal to",
+    ">": "greater than",
+    "<": "less than",
+    ">=": "at least",
+    "<=": "at most",
+    "!=": "different from",
+}
+
+_AGG_PHRASE = {"AVG": "average", "MAX": "maximum", "MIN": "minimum", "SUM": "total"}
+
+
+def _content_words(words: tuple[str, ...]) -> set[str]:
+    return {w for w in words if w not in _STOPWORDS}
+
+
+def compute_features(
+    db: Database, query: SelectQuery, needs_knowledge: bool
+) -> InstanceFeatures:
+    """Measure the linking-difficulty features of a gold query on ``db``."""
+    gold_tables = query.tables_used()
+    gold_columns = query.columns_used()
+
+    # Table ambiguity: gold tables whose content words also occur in other
+    # tables (their names or their columns) — the Figure 1(a) hazard.
+    ambiguous_tables = 0
+    for tname in gold_tables:
+        table = db.table(tname)
+        words = _content_words(table.semantic_words)
+        if not words:
+            continue
+        for other in db.tables:
+            if other.name.lower() == table.name.lower():
+                continue
+            other_words = _content_words(other.semantic_words)
+            for col in other.columns:
+                other_words |= _content_words(col.semantic_words)
+            if words & other_words:
+                ambiguous_tables += 1
+                break
+    table_ambiguity = ambiguous_tables / max(1, len(gold_tables))
+
+    # Column ambiguity: gold columns whose content words occur in other
+    # columns anywhere in the database.
+    n_gold_cols = 0
+    ambiguous_cols = 0
+    for tname, cols in gold_columns.items():
+        table = db.table(tname)
+        for cname in cols:
+            n_gold_cols += 1
+            col = table.column(cname)
+            words = _content_words(col.semantic_words)
+            if not words:
+                continue
+            clash = False
+            for other_t in db.tables:
+                for other_c in other_t.columns:
+                    if other_t.name.lower() == tname.lower() and (
+                        other_c.name.lower() == cname.lower()
+                    ):
+                        continue
+                    if words & _content_words(other_c.semantic_words):
+                        clash = True
+                        break
+                if clash:
+                    break
+            if clash:
+                ambiguous_cols += 1
+    column_ambiguity = ambiguous_cols / max(1, n_gold_cols)
+
+    # Dirty gap: gold identifiers whose physical name shares no word with
+    # the semantic phrase AND that carry no description — Figure 1(b).
+    gap_hits = 0
+    gap_total = 0
+    for tname in gold_tables:
+        table = db.table(tname)
+        gap_total += 1
+        if _is_opaque(table.name, table.semantic_words) and not table.description:
+            gap_hits += 1
+        for cname in gold_columns.get(tname, ()):
+            col = table.column(cname)
+            gap_total += 1
+            if _is_opaque(col.name, col.semantic_words) and not col.description:
+                gap_hits += 1
+    dirty_gap = gap_hits / max(1, gap_total)
+
+    return InstanceFeatures(
+        table_ambiguity=table_ambiguity,
+        column_ambiguity=column_ambiguity,
+        dirty_gap=dirty_gap,
+        needs_knowledge=needs_knowledge,
+        n_tables=len(db.tables),
+        n_gold_tables=len(gold_tables),
+        n_gold_columns=n_gold_cols,
+    )
+
+
+def _is_opaque(physical: str, words: tuple[str, ...]) -> bool:
+    """True when the physical name does not contain any semantic word."""
+    lowered = physical.lower().replace("_", "")
+    return not any(w.lower() in lowered for w in words if len(w) > 2)
+
+
+@dataclass
+class _Draft:
+    """A template's output before example assembly."""
+
+    question: str
+    query: SelectQuery
+    needs_knowledge: bool = False
+    knowledge: "str | None" = None
+
+
+class QuestionFactory:
+    """Generates (question, gold SQL) examples for one populated database."""
+
+    def __init__(
+        self,
+        pdb: PopulatedDatabase,
+        rng: np.random.Generator,
+        difficulty_mix: "dict[str, float] | None" = None,
+        knowledge_fraction: float = 0.0,
+    ):
+        self.pdb = pdb
+        self.db = pdb.schema
+        self.rng = rng
+        self.mix = difficulty_mix or {
+            "simple": 0.40,
+            "moderate": 0.40,
+            "challenging": 0.20,
+        }
+        self.knowledge_fraction = knowledge_fraction
+        self._templates = {
+            "simple": [
+                self._t_list_all,
+                self._t_list_filter,
+                self._t_count_filter,
+                self._t_agg_simple,
+                self._t_distinct,
+            ],
+            "moderate": [
+                self._t_join_list,
+                self._t_superlative,
+                self._t_group_count,
+                self._t_join_agg,
+                self._t_order_topk,
+            ],
+            "challenging": [
+                self._t_group_having,
+                self._t_nested_avg,
+                self._t_join_three,
+                self._t_join_group_most,
+            ],
+        }
+
+    # -- column/table selection helpers -------------------------------------
+
+    def _display_columns(self, table: Table) -> list[Column]:
+        fk_cols = {fk.column for fk in table.foreign_keys}
+        return [
+            c
+            for c in table.columns
+            if not c.is_primary and c.name not in fk_cols and c.value_pool != "serial"
+        ]
+
+    def _numeric_columns(self, table: Table) -> list[Column]:
+        return [c for c in self._display_columns(table) if c.ctype.is_numeric]
+
+    def _categorical_columns(self, table: Table) -> list[Column]:
+        out = []
+        for c in self._display_columns(table):
+            if c.value_pool.startswith("choice:") or c.value_pool in (
+                "person_first",
+                "person_last",
+                "city",
+                "country",
+                "nationality",
+                "company",
+                "word",
+                "color",
+                "month",
+            ):
+                out.append(c)
+        return out
+
+    def _name_column(self, table: Table) -> "Column | None":
+        for c in self._display_columns(table):
+            if not c.ctype.is_numeric:
+                return c
+        cols = self._display_columns(table)
+        return cols[0] if cols else None
+
+    def _pick(self, items: list):
+        if not items:
+            return None
+        return items[int(self.rng.integers(0, len(items)))]
+
+    def _pick_table(self) -> Table:
+        return self.db.tables[int(self.rng.integers(0, len(self.db.tables)))]
+
+    def _value_for(self, table: Table, col: Column):
+        values = self.pdb.column_values(table.name, col.name)
+        return self._pick(values)
+
+    def _numeric_threshold(self, table: Table, col: Column):
+        values = [
+            v
+            for v in self.pdb.column_values(table.name, col.name)
+            if isinstance(v, (int, float))
+        ]
+        if not values:
+            return None
+        return sorted(values)[len(values) // 2]
+
+    def _fk_pairs(self) -> list[tuple[Table, Table]]:
+        """(child, parent) pairs connected by an FK edge."""
+        pairs = []
+        for t in self.db.tables:
+            for fk in t.foreign_keys:
+                pairs.append((t, self.db.table(fk.ref_table)))
+        return pairs
+
+    # -- simple templates ----------------------------------------------------
+
+    def _t_list_all(self) -> "_Draft | None":
+        table = self._pick_table()
+        col = self._pick(self._display_columns(table))
+        if col is None:
+            return None
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, col.name)),),
+            tables=(table.name,),
+        )
+        text = f"List the {col.surface} of every {table.surface} record."
+        return _Draft(text, q)
+
+    def _t_list_filter(self) -> "_Draft | None":
+        table = self._pick_table()
+        show = self._pick(self._display_columns(table))
+        cond_col = self._pick(self._categorical_columns(table))
+        if show is None or cond_col is None or show.name == cond_col.name:
+            return None
+        value = self._value_for(table, cond_col)
+        if value is None:
+            return None
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, show.name)),),
+            tables=(table.name,),
+            where=(Condition(ColumnRef(table.name, cond_col.name), "=", value),),
+        )
+        text = (
+            f"What is the {show.surface} of the {table.surface} records "
+            f"whose {cond_col.surface} is {value}?"
+        )
+        return _Draft(text, q)
+
+    def _t_count_filter(self) -> "_Draft | None":
+        table = self._pick_table()
+        col = self._pick(self._numeric_columns(table))
+        if col is None:
+            return None
+        threshold = self._numeric_threshold(table, col)
+        if threshold is None:
+            return None
+        op = str(self.rng.choice([">", "<", ">="]))
+        q = SelectQuery(
+            select=(SelectItem(col=None, agg="COUNT"),),
+            tables=(table.name,),
+            where=(Condition(ColumnRef(table.name, col.name), op, threshold),),
+        )
+        text = (
+            f"How many {table.surface} records have a {col.surface} "
+            f"{_OP_PHRASE[op]} {threshold}?"
+        )
+        return _Draft(text, q)
+
+    def _t_agg_simple(self) -> "_Draft | None":
+        table = self._pick_table()
+        col = self._pick(self._numeric_columns(table))
+        if col is None:
+            return None
+        agg = str(self.rng.choice(["AVG", "MAX", "MIN"]))
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, col.name), agg=agg),),
+            tables=(table.name,),
+        )
+        text = (
+            f"What is the {_AGG_PHRASE[agg]} {col.surface} "
+            f"across all {table.surface} records?"
+        )
+        return _Draft(text, q)
+
+    def _t_distinct(self) -> "_Draft | None":
+        table = self._pick_table()
+        col = self._pick(self._categorical_columns(table))
+        if col is None:
+            return None
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, col.name), distinct=True),),
+            tables=(table.name,),
+        )
+        text = f"List the distinct {col.surface} values among all {table.surface} records."
+        return _Draft(text, q)
+
+    # -- moderate templates ----------------------------------------------------
+
+    def _join_query_parts(self):
+        pair = self._pick(self._fk_pairs())
+        if pair is None:
+            return None
+        child, parent = pair
+        edge = self.db.join_condition(child.name, parent.name)
+        if edge is None:
+            return None
+        lt, lc, rt, rc = edge
+        join = JoinEdge(ColumnRef(lt, lc), ColumnRef(rt, rc))
+        return child, parent, join
+
+    def _t_join_list(self) -> "_Draft | None":
+        parts = self._join_query_parts()
+        if parts is None:
+            return None
+        child, parent, join = parts
+        child_col = self._pick(self._display_columns(child))
+        parent_col = self._pick(self._display_columns(parent))
+        if child_col is None or parent_col is None:
+            return None
+        cond_col = self._pick(self._categorical_columns(parent))
+        where: tuple[Condition, ...] = ()
+        cond_text = ""
+        if cond_col is not None and cond_col.name != parent_col.name:
+            value = self._value_for(parent, cond_col)
+            if value is not None:
+                where = (
+                    Condition(ColumnRef(parent.name, cond_col.name), "=", value),
+                )
+                cond_text = f" for the {parent.surface} whose {cond_col.surface} is {value}"
+        q = SelectQuery(
+            select=(
+                SelectItem(col=ColumnRef(child.name, child_col.name)),
+                SelectItem(col=ColumnRef(parent.name, parent_col.name)),
+            ),
+            tables=(child.name, parent.name),
+            joins=(join,),
+            where=where,
+        )
+        text = (
+            f"Show each {child.surface} record's {child_col.surface} together with "
+            f"the {parent_col.surface} of its {parent.surface}{cond_text}."
+        )
+        return _Draft(text, q)
+
+    def _t_superlative(self) -> "_Draft | None":
+        table = self._pick_table()
+        num = self._pick(self._numeric_columns(table))
+        name = self._name_column(table)
+        if num is None or name is None or num.name == name.name:
+            return None
+        direction = str(self.rng.choice(["DESC", "ASC"]))
+        phrase = "highest" if direction == "DESC" else "lowest"
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, name.name)),),
+            tables=(table.name,),
+            order_by=(OrderTerm(ColumnRef(table.name, num.name), direction),),
+            limit=1,
+        )
+        text = (
+            f"Which {table.surface} record has the {phrase} {num.surface}? "
+            f"Give its {name.surface}."
+        )
+        return _Draft(text, q)
+
+    def _t_group_count(self) -> "_Draft | None":
+        table = self._pick_table()
+        group = self._pick(self._categorical_columns(table))
+        if group is None:
+            return None
+        ref = ColumnRef(table.name, group.name)
+        q = SelectQuery(
+            select=(SelectItem(col=ref), SelectItem(col=None, agg="COUNT")),
+            tables=(table.name,),
+            group_by=(ref,),
+        )
+        text = f"For each {group.surface}, how many {table.surface} records are there?"
+        return _Draft(text, q)
+
+    def _t_join_agg(self) -> "_Draft | None":
+        parts = self._join_query_parts()
+        if parts is None:
+            return None
+        child, parent, join = parts
+        num = self._pick(self._numeric_columns(child))
+        cond_col = self._pick(self._categorical_columns(parent))
+        if num is None or cond_col is None:
+            return None
+        value = self._value_for(parent, cond_col)
+        if value is None:
+            return None
+        agg = str(self.rng.choice(["AVG", "MAX", "SUM"]))
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(child.name, num.name), agg=agg),),
+            tables=(child.name, parent.name),
+            joins=(join,),
+            where=(Condition(ColumnRef(parent.name, cond_col.name), "=", value),),
+        )
+        text = (
+            f"What is the {_AGG_PHRASE[agg]} {num.surface} of {child.surface} records "
+            f"for the {parent.surface} whose {cond_col.surface} is {value}?"
+        )
+        return _Draft(text, q)
+
+    def _t_order_topk(self) -> "_Draft | None":
+        table = self._pick_table()
+        num = self._pick(self._numeric_columns(table))
+        name = self._name_column(table)
+        if num is None or name is None or num.name == name.name:
+            return None
+        k = int(self.rng.integers(2, 6))
+        q = SelectQuery(
+            select=(
+                SelectItem(col=ColumnRef(table.name, name.name)),
+                SelectItem(col=ColumnRef(table.name, num.name)),
+            ),
+            tables=(table.name,),
+            order_by=(OrderTerm(ColumnRef(table.name, num.name), "DESC"),),
+            limit=k,
+        )
+        text = (
+            f"List the {name.surface} and {num.surface} of the top {k} "
+            f"{table.surface} records by {num.surface}."
+        )
+        return _Draft(text, q)
+
+    # -- challenging templates --------------------------------------------------
+
+    def _t_group_having(self) -> "_Draft | None":
+        table = self._pick_table()
+        group = self._pick(self._categorical_columns(table))
+        if group is None:
+            return None
+        n = int(self.rng.integers(1, 4))
+        ref = ColumnRef(table.name, group.name)
+        q = SelectQuery(
+            select=(SelectItem(col=ref),),
+            tables=(table.name,),
+            group_by=(ref,),
+            having=(Condition(None, ">", n, agg="COUNT"),),
+        )
+        text = (
+            f"Which {group.surface} values appear in more than {n} "
+            f"{table.surface} records?"
+        )
+        return _Draft(text, q)
+
+    def _t_nested_avg(self) -> "_Draft | None":
+        table = self._pick_table()
+        num = self._pick(self._numeric_columns(table))
+        name = self._name_column(table)
+        if num is None or name is None or num.name == name.name:
+            return None
+        inner = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, num.name), agg="AVG"),),
+            tables=(table.name,),
+        )
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef(table.name, name.name)),),
+            tables=(table.name,),
+            where=(
+                Condition(ColumnRef(table.name, num.name), ">", Subquery(inner)),
+            ),
+        )
+        text = (
+            f"List the {name.surface} of {table.surface} records whose {num.surface} "
+            f"is above the average {num.surface}."
+        )
+        return _Draft(text, q)
+
+    def _t_join_three(self) -> "_Draft | None":
+        # A path child -> mid -> top through two FK edges.
+        for _ in range(6):
+            parts = self._join_query_parts()
+            if parts is None:
+                return None
+            child, mid, join1 = parts
+            grand_edges = [
+                (fk, self.db.table(fk.ref_table))
+                for fk in mid.foreign_keys
+                if fk.ref_table.lower() not in (child.name.lower(), mid.name.lower())
+            ]
+            if not grand_edges:
+                continue
+            fk, top = grand_edges[int(self.rng.integers(0, len(grand_edges)))]
+            join2 = JoinEdge(
+                ColumnRef(mid.name, fk.column), ColumnRef(top.name, fk.ref_column)
+            )
+            name = self._name_column(top)
+            num = self._pick(self._numeric_columns(child))
+            if name is None or num is None:
+                continue
+            threshold = self._numeric_threshold(child, num)
+            if threshold is None:
+                continue
+            q = SelectQuery(
+                select=(SelectItem(col=ColumnRef(top.name, name.name), distinct=True),),
+                tables=(child.name, mid.name, top.name),
+                joins=(join1, join2),
+                where=(
+                    Condition(ColumnRef(child.name, num.name), ">", threshold),
+                ),
+            )
+            text = (
+                f"List the distinct {name.surface} of the {top.surface} linked, through "
+                f"{mid.surface}, to {child.surface} records with {num.surface} "
+                f"{_OP_PHRASE['>']} {threshold}."
+            )
+            return _Draft(text, q)
+        return None
+
+    def _t_join_group_most(self) -> "_Draft | None":
+        parts = self._join_query_parts()
+        if parts is None:
+            return None
+        child, parent, join = parts
+        name = self._name_column(parent)
+        if name is None:
+            return None
+        ref = ColumnRef(parent.name, name.name)
+        q = SelectQuery(
+            select=(SelectItem(col=ref),),
+            tables=(child.name, parent.name),
+            joins=(join,),
+            group_by=(ref,),
+            order_by=(OrderTerm(None, "DESC", agg="COUNT"),),
+            limit=1,
+        )
+        text = (
+            f"Which {parent.surface} (by {name.surface}) has the most associated "
+            f"{child.surface} records?"
+        )
+        return _Draft(text, q)
+
+    # -- assembly -----------------------------------------------------------
+
+    def _sample_difficulty(self) -> str:
+        names = list(self.mix)
+        probs = np.array([self.mix[n] for n in names], dtype=float)
+        probs /= probs.sum()
+        return names[int(self.rng.choice(len(names), p=probs))]
+
+    def build_one(self, example_id: str) -> Example:
+        """Generate one example (retrying templates until one applies)."""
+        for _ in range(60):
+            difficulty = self._sample_difficulty()
+            template = self._pick(self._templates[difficulty])
+            draft = template()
+            if draft is None:
+                continue
+            needs_knowledge = draft.needs_knowledge
+            knowledge = draft.knowledge
+            # A slice of questions on knowledge-bearing databases requires
+            # the external snippet to resolve a phrase (BIRD's protocol).
+            if (
+                not needs_knowledge
+                and self.db.knowledge
+                and self.rng.random() < self.knowledge_fraction
+            ):
+                needs_knowledge = True
+                knowledge = str(
+                    self.db.knowledge[int(self.rng.integers(0, len(self.db.knowledge)))]
+                )
+            features = compute_features(self.db, draft.query, needs_knowledge)
+            return Example(
+                example_id=example_id,
+                db_id=self.db.name,
+                question=draft.question,
+                query=draft.query,
+                difficulty=difficulty,
+                features=features,
+                knowledge=knowledge,
+            )
+        raise RuntimeError(
+            f"could not instantiate any template on database {self.db.name!r}"
+        )
+
+    def build(self, n: int, id_prefix: str) -> list[Example]:
+        return [self.build_one(f"{id_prefix}_{i:04d}") for i in range(n)]

@@ -1,0 +1,307 @@
+"""A small SQL AST: enough of SELECT to cover the benchmark query space.
+
+The question generator builds gold queries as ASTs; the downstream SQL
+generator corrupts ASTs; the executor renders them to SQLite SQL. Keeping
+queries structured (rather than strings) is what lets us compute gold
+schema links exactly and apply realistic corruptions.
+
+Supported surface: single-table and multi-join SELECTs, aggregates,
+DISTINCT, WHERE conjunctions, GROUP BY / HAVING, ORDER BY / LIMIT, and
+scalar subqueries in comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+__all__ = [
+    "ColumnRef",
+    "SelectItem",
+    "Condition",
+    "JoinEdge",
+    "OrderTerm",
+    "Subquery",
+    "SelectQuery",
+]
+
+_VALID_OPS = {"=", "!=", "<", "<=", ">", ">=", "LIKE"}
+_VALID_AGGS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A qualified column reference ``table.column``."""
+
+    table: str
+    column: str
+
+    def render(self, qualify: bool = True) -> str:
+        return f"{self.table}.{self.column}" if qualify else self.column
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the SELECT list.
+
+    ``agg is None`` -> plain column; ``col is None`` (with ``agg='COUNT'``)
+    -> ``COUNT(*)``.
+    """
+
+    col: "ColumnRef | None" = None
+    agg: "str | None" = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.agg is not None and self.agg not in _VALID_AGGS:
+            raise ValueError(f"unknown aggregate {self.agg!r}")
+        if self.col is None and self.agg != "COUNT":
+            raise ValueError("only COUNT may omit a column (COUNT(*))")
+
+    def render(self, qualify: bool = True) -> str:
+        inner = "*" if self.col is None else self.col.render(qualify)
+        if self.distinct and self.col is not None:
+            inner = f"DISTINCT {inner}"
+        if self.agg:
+            return f"{self.agg}({inner})"
+        return inner
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """A scalar subquery used as a comparison value."""
+
+    query: "SelectQuery"
+
+    def render(self) -> str:
+        return f"({self.query.render()})"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A comparison ``lhs op value``; value is a literal or scalar subquery.
+
+    When ``agg`` is set the condition lives in HAVING and compares
+    ``agg(lhs)`` (or COUNT(*) when ``col is None``).
+    """
+
+    col: "ColumnRef | None"
+    op: str
+    value: object
+    agg: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if self.agg is not None and self.agg not in _VALID_AGGS:
+            raise ValueError(f"unknown aggregate {self.agg!r}")
+        if self.col is None and self.agg != "COUNT":
+            raise ValueError("only COUNT(*) conditions may omit a column")
+
+    def lhs(self, qualify: bool = True) -> str:
+        inner = "*" if self.col is None else self.col.render(qualify)
+        return f"{self.agg}({inner})" if self.agg else inner
+
+    def render_value(self) -> str:
+        if isinstance(self.value, Subquery):
+            return self.value.render()
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, bool):
+            return "1" if self.value else "0"
+        if isinstance(self.value, float):
+            return f"{self.value:g}"
+        return str(self.value)
+
+    def render(self, qualify: bool = True) -> str:
+        return f"{self.lhs(qualify)} {self.op} {self.render_value()}"
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join ``left.lcol = right.rcol`` between two FROM tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def render(self) -> str:
+        return f"{self.left.render()} = {self.right.render()}"
+
+
+@dataclass(frozen=True)
+class OrderTerm:
+    """ORDER BY term: a column or aggregate expression plus direction."""
+
+    col: "ColumnRef | None"
+    direction: str = "ASC"
+    agg: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("ASC", "DESC"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if self.agg is not None and self.agg not in _VALID_AGGS:
+            raise ValueError(f"unknown aggregate {self.agg!r}")
+        if self.col is None and self.agg != "COUNT":
+            raise ValueError("only COUNT(*) order terms may omit a column")
+
+    def render(self, qualify: bool = True) -> str:
+        inner = "*" if self.col is None else self.col.render(qualify)
+        expr = f"{self.agg}({inner})" if self.agg else inner
+        return f"{expr} {self.direction}"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A SELECT statement over one or more joined tables."""
+
+    select: tuple[SelectItem, ...]
+    tables: tuple[str, ...]
+    joins: tuple[JoinEdge, ...] = ()
+    where: tuple[Condition, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    having: tuple[Condition, ...] = ()
+    order_by: tuple[OrderTerm, ...] = ()
+    limit: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.select:
+            raise ValueError("SELECT list must be non-empty")
+        if not self.tables:
+            raise ValueError("FROM list must be non-empty")
+        if len(self.tables) > 1 and len(self.joins) < len(self.tables) - 1:
+            raise ValueError(
+                f"{len(self.tables)} tables require >= {len(self.tables) - 1} joins"
+            )
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        qualify = len(self.tables) > 1
+        parts = ["SELECT " + ", ".join(s.render(qualify) for s in self.select)]
+        if len(self.tables) == 1:
+            parts.append(f"FROM {self.tables[0]}")
+        else:
+            from_clause = f"FROM {self.tables[0]}"
+            remaining = list(self.joins)
+            joined = {self.tables[0].lower()}
+            for table in self.tables[1:]:
+                edge = None
+                for cand in remaining:
+                    touches = {cand.left.table.lower(), cand.right.table.lower()}
+                    if table.lower() in touches and touches & joined:
+                        edge = cand
+                        break
+                if edge is None:
+                    # Fall back to the next unused edge (still valid SQL).
+                    edge = remaining[0]
+                remaining.remove(edge)
+                from_clause += f" JOIN {table} ON {edge.render()}"
+                joined.add(table.lower())
+            parts.append(from_clause)
+        if self.where:
+            parts.append("WHERE " + " AND ".join(c.render(qualify) for c in self.where))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(c.render(qualify) for c in self.group_by))
+        if self.having:
+            parts.append("HAVING " + " AND ".join(c.render(qualify) for c in self.having))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.render(qualify) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # -- analysis ----------------------------------------------------------
+
+    @property
+    def has_order(self) -> bool:
+        """Whether result comparison must be order-sensitive."""
+        return bool(self.order_by)
+
+    def _iter_conditions(self) -> Iterator[Condition]:
+        yield from self.where
+        yield from self.having
+
+    def iter_column_refs(self) -> Iterator[ColumnRef]:
+        """All column references anywhere in the query (incl. subqueries)."""
+        for item in self.select:
+            if item.col is not None:
+                yield item.col
+        for join in self.joins:
+            yield join.left
+            yield join.right
+        for cond in self._iter_conditions():
+            if cond.col is not None:
+                yield cond.col
+            if isinstance(cond.value, Subquery):
+                yield from cond.value.query.iter_column_refs()
+        yield from self.group_by
+        for term in self.order_by:
+            if term.col is not None:
+                yield term.col
+
+    def tables_used(self) -> tuple[str, ...]:
+        """All tables referenced, including in subqueries, de-duplicated."""
+        seen: set[str] = set()
+        out: list[str] = []
+
+        def visit(q: "SelectQuery") -> None:
+            for t in q.tables:
+                if t.lower() not in seen:
+                    seen.add(t.lower())
+                    out.append(t)
+            for cond in q._iter_conditions():
+                if isinstance(cond.value, Subquery):
+                    visit(cond.value.query)
+
+        visit(self)
+        return tuple(out)
+
+    def columns_used(self) -> dict[str, tuple[str, ...]]:
+        """Gold column links: table -> columns referenced for that table."""
+        by_table: dict[str, list[str]] = {}
+        seen: set[tuple[str, str]] = set()
+        for ref in self.iter_column_refs():
+            key = (ref.table.lower(), ref.column.lower())
+            if key in seen:
+                continue
+            seen.add(key)
+            by_table.setdefault(ref.table, []).append(ref.column)
+        return {t: tuple(cols) for t, cols in by_table.items()}
+
+    # -- transformation ----------------------------------------------------
+
+    def replace_column(self, old: ColumnRef, new: ColumnRef) -> "SelectQuery":
+        """Substitute every occurrence of ``old`` with ``new`` (corruptions)."""
+
+        def fix(ref: "ColumnRef | None") -> "ColumnRef | None":
+            if ref is None:
+                return None
+            return new if (ref.table.lower(), ref.column.lower()) == (
+                old.table.lower(),
+                old.column.lower(),
+            ) else ref
+
+        select = tuple(replace(s, col=fix(s.col)) for s in self.select)
+        joins = tuple(
+            JoinEdge(left=fix(j.left), right=fix(j.right)) for j in self.joins
+        )
+        where = tuple(replace(c, col=fix(c.col)) for c in self.where)
+        group = tuple(fix(c) for c in self.group_by)
+        having = tuple(replace(c, col=fix(c.col)) for c in self.having)
+        order = tuple(replace(o, col=fix(o.col)) for o in self.order_by)
+        return replace(
+            self,
+            select=select,
+            joins=joins,
+            where=where,
+            group_by=group,
+            having=having,
+            order_by=order,
+        )

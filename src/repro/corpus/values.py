@@ -1,0 +1,106 @@
+"""Typed value pools for data population.
+
+Each column carries a ``value_pool`` name; the materializer draws cell
+values from the pool. Pools are deliberately small so filter predicates in
+generated questions are selective but rarely empty.
+
+Pool name grammar:
+
+* plain names (``person_first``, ``city`` ...) — draw from the word lists
+  below;
+* ``choice:a|b|c`` — categorical over the listed options;
+* ``int:lo..hi`` — uniform integer range;
+* ``real:lo..hi`` — uniform real, rounded to 2 decimals;
+* ``year:lo..hi`` — integer years;
+* ``serial`` — handled by the materializer (row index), never drawn here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["draw_value", "pool_values", "POOLS"]
+
+POOLS: dict[str, tuple] = {
+    "person_first": (
+        "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+        "Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+        "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Carlos", "Yuki",
+        "Amara", "Priya", "Lars", "Sofia", "Omar", "Ingrid",
+    ),
+    "person_last": (
+        "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+        "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+        "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Nakamura",
+        "Okafor", "Petrov", "Silva", "Kowalski", "Haddad",
+    ),
+    "city": (
+        "Toronto", "Seattle", "Austin", "Denver", "Boston", "Chicago",
+        "Portland", "Atlanta", "Madrid", "Lyon", "Osaka", "Melbourne",
+        "Nairobi", "Oslo", "Prague", "Lima",
+    ),
+    "country": (
+        "Canada", "United States", "Spain", "France", "Japan", "Australia",
+        "Kenya", "Norway", "Czechia", "Peru", "Brazil", "Germany", "India",
+        "Italy", "Mexico", "Poland",
+    ),
+    "nationality": (
+        "Canadian", "American", "Spanish", "French", "Japanese",
+        "Australian", "Kenyan", "Norwegian", "Czech", "Peruvian",
+        "Brazilian", "German", "Indian", "Italian", "Mexican", "Polish",
+    ),
+    "company": (
+        "Acme Corp", "Globex", "Initech", "Umbrella", "Stark Industries",
+        "Wayne Enterprises", "Hooli", "Vehement Capital", "Massive Dynamic",
+        "Soylent Corp", "Tyrell Corp", "Cyberdyne",
+    ),
+    "street": (
+        "Maple Ave", "Oak St", "Pine Rd", "Cedar Blvd", "Elm Dr",
+        "Birch Ln", "Willow Way", "Spruce Ct", "Aspen Pl", "Juniper Ter",
+    ),
+    "word": (
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+        "hotel", "india", "juliett", "kilo", "lima", "mike", "november",
+    ),
+    "color": ("red", "blue", "green", "yellow", "black", "white", "silver"),
+    "month": (
+        "January", "February", "March", "April", "May", "June", "July",
+        "August", "September", "October", "November", "December",
+    ),
+}
+
+
+def pool_values(pool: str) -> "tuple | None":
+    """The finite option list for a pool, if it has one."""
+    if pool.startswith("choice:"):
+        return tuple(pool.split(":", 1)[1].split("|"))
+    return POOLS.get(pool)
+
+
+def draw_value(pool: str, rng: np.random.Generator) -> object:
+    """Draw a single value from the named pool."""
+    if pool.startswith("choice:"):
+        options = pool.split(":", 1)[1].split("|")
+        return str(rng.choice(options))
+    if pool.startswith("int:"):
+        lo, hi = pool.split(":", 1)[1].split("..")
+        return int(rng.integers(int(lo), int(hi) + 1))
+    if pool.startswith("real:"):
+        lo, hi = pool.split(":", 1)[1].split("..")
+        return round(float(rng.uniform(float(lo), float(hi))), 2)
+    if pool.startswith("year:"):
+        lo, hi = pool.split(":", 1)[1].split("..")
+        return int(rng.integers(int(lo), int(hi) + 1))
+    if pool == "date":
+        year = int(rng.integers(2000, 2024))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        return f"{year:04d}-{month:02d}-{day:02d}"
+    if pool == "bool":
+        return int(rng.integers(0, 2))
+    if pool == "generic":
+        return int(rng.integers(0, 1000))
+    values = POOLS.get(pool)
+    if values is None:
+        raise KeyError(f"unknown value pool {pool!r}")
+    return str(rng.choice(values))

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run any experiment directly::
+
+    python -m repro.experiments.table5
+    python -m repro.experiments.figure6
+
+or everything (regenerates the EXPERIMENTS.md evidence)::
+
+    python -m repro.experiments.report
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+__all__ = ["ExperimentContext", "ExperimentResult"]

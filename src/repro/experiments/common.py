@@ -1,0 +1,173 @@
+"""Shared experiment infrastructure.
+
+:class:`ExperimentContext` memoizes the expensive artifacts — benchmarks,
+the simulated LLM, fitted RTS pipelines, surrogate filters, joint linking
+outcomes — so the thirteen experiment runners can share them within one
+process (the report runner and the benchmark suite rely on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abstention.human import BEGINNER, EXPERT, HumanOracle, HumanProfile
+from repro.abstention.surrogate import SurrogateFilter
+from repro.corpus.bird import BirdBuilder
+from repro.corpus.dataset import Benchmark
+from repro.corpus.generator import CorpusScale
+from repro.corpus.spider import SpiderBuilder
+from repro.core.config import RTSConfig
+from repro.core.pipeline import RTSPipeline
+from repro.core.results import JointOutcome
+from repro.linking.instance import SchemaLinkingInstance
+from repro.llm.model import TransparentLLM
+from repro.utils.tabulate import render_table
+
+__all__ = ["ExperimentContext", "ExperimentResult", "DATASETS"]
+
+# (display name, benchmark name, split) triples used across tables.
+DATASETS = (
+    ("Bird", "bird", "dev"),
+    ("Spider-dev", "spider", "dev"),
+    ("Spider-test", "spider", "test"),
+)
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: rows we measured, next to the paper's."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    paper_rows: "list[list] | None" = None
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                self.headers, self.rows, title=f"{self.experiment_id}: {self.title}"
+            )
+        ]
+        if self.paper_rows:
+            parts.append("")
+            parts.append(
+                render_table(self.headers, self.paper_rows, title="Paper reports")
+            )
+        if self.notes:
+            parts.append("")
+            parts.append(f"Note: {self.notes}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        def md_table(rows: list[list]) -> str:
+            head = "| " + " | ".join(self.headers) + " |"
+            sep = "|" + "|".join("---" for _ in self.headers) + "|"
+            body = [
+                "| "
+                + " | ".join(
+                    f"{v:.2f}" if isinstance(v, float) else str(v) for v in row
+                )
+                + " |"
+                for row in rows
+            ]
+            return "\n".join([head, sep, *body])
+
+        parts = [f"### {self.experiment_id}: {self.title}", "", "Measured:", "", md_table(self.rows)]
+        if self.paper_rows:
+            parts += ["", "Paper:", "", md_table(self.paper_rows)]
+        if self.notes:
+            parts += ["", f"_Note: {self.notes}_"]
+        return "\n".join(parts)
+
+
+class ExperimentContext:
+    """Shared, memoized state for the experiment runners."""
+
+    def __init__(
+        self,
+        corpus_seed: int = 7,
+        llm_seed: int = 11,
+        rts_seed: int = 3,
+        scale: "CorpusScale | None" = None,
+    ):
+        self.corpus_seed = corpus_seed
+        self.llm_seed = llm_seed
+        self.rts_seed = rts_seed
+        self.scale = scale or CorpusScale.small()
+        self._benchmarks: dict[str, Benchmark] = {}
+        self._pipelines: dict[str, RTSPipeline] = {}
+        self._surrogates: dict[str, SurrogateFilter] = {}
+        self._joint: dict[tuple, list[JointOutcome]] = {}
+        self._llm: "TransparentLLM | None" = None
+
+    @classmethod
+    def tiny(cls) -> "ExperimentContext":
+        """A fast context for tests and benchmark timing."""
+        return cls(scale=CorpusScale.tiny())
+
+    # -- artifacts ----------------------------------------------------------
+
+    @property
+    def llm(self) -> TransparentLLM:
+        if self._llm is None:
+            self._llm = TransparentLLM(seed=self.llm_seed)
+        return self._llm
+
+    def benchmark(self, name: str) -> Benchmark:
+        if name not in self._benchmarks:
+            builder = {
+                "bird": BirdBuilder(seed=self.corpus_seed, scale=self.scale),
+                "spider": SpiderBuilder(seed=self.corpus_seed, scale=self.scale),
+            }[name]
+            self._benchmarks[name] = builder.build()
+        return self._benchmarks[name]
+
+    def pipeline(self, name: str) -> RTSPipeline:
+        if name not in self._pipelines:
+            pipe = RTSPipeline(self.llm, RTSConfig(seed=self.rts_seed))
+            pipe.fit_benchmark(self.benchmark(name))
+            self._pipelines[name] = pipe
+        return self._pipelines[name]
+
+    def surrogate(self, name: str) -> SurrogateFilter:
+        if name not in self._surrogates:
+            bench = self.benchmark(name)
+            self._surrogates[name] = SurrogateFilter(seed=5).fit(
+                list(bench.train), bench.databases
+            )
+        return self._surrogates[name]
+
+    def instances(
+        self, name: str, split: str, task: str
+    ) -> "list[SchemaLinkingInstance]":
+        bench = self.benchmark(name)
+        return [
+            RTSPipeline.instance_for(example, bench, task)
+            for example in bench.split(split)
+        ]
+
+    def human(self, profile: HumanProfile = EXPERT, seed: int = 9) -> HumanOracle:
+        return HumanOracle(profile, seed=seed)
+
+    def joint_outcomes(
+        self,
+        name: str,
+        split: str = "dev",
+        profile: HumanProfile = EXPERT,
+        limit: "int | None" = None,
+    ) -> "list[JointOutcome]":
+        key = (name, split, profile.name, limit)
+        if key not in self._joint:
+            bench = self.benchmark(name)
+            pipe = self.pipeline(name)
+            human = self.human(profile)
+            examples = list(bench.split(split))
+            if limit is not None:
+                examples = examples[:limit]
+            self._joint[key] = [
+                pipe.link_joint(e, bench, mode="human", human=human)
+                for e in examples
+            ]
+        return self._joint[key]

@@ -1,0 +1,60 @@
+"""Figure 6: coverage vs. extra abstention rate across error levels.
+
+For each alpha, the per-layer conformal thresholds are re-calibrated
+(probes are reused) and the mBPP is evaluated on the BIRD dev traces.
+The paper's claims: empirical coverage envelopes the theoretical
+guarantee at every alpha, stays nearly flat for small alpha, and EAR
+falls as alpha grows.
+"""
+
+from __future__ import annotations
+
+from repro.conformal.aggregate import majority_guarantee
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.linking.dataset import collect_branch_dataset
+from repro.probes.metrics import evaluate_bpp
+
+ALPHAS = (0.02, 0.05, 0.10, 0.15, 0.20, 0.30)
+
+
+def sweep(ctx: ExperimentContext, task: str, alphas=ALPHAS) -> list[list]:
+    """(alpha, coverage, EAR, guarantee) rows for one task."""
+    pipe = ctx.pipeline("bird")
+    instances = ctx.instances("bird", "dev", task)
+    dataset = collect_branch_dataset(ctx.llm, instances)
+    base = pipe.mbpp(task)
+    rows = []
+    for alpha in alphas:
+        mbpp = base.with_alpha(alpha)
+        ev = evaluate_bpp(mbpp, dataset)
+        rows.append(
+            [alpha, ev.coverage, ev.ear, majority_guarantee(alpha, theta=0.5)]
+        )
+    return rows
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    for task, label in (("table", "Table"), ("column", "Column")):
+        for alpha, coverage, ear, guarantee in sweep(ctx, task):
+            rows.append([label, alpha, coverage, ear, guarantee])
+    return ExperimentResult(
+        experiment_id="Figure 6",
+        title="Coverage vs EAR per error level (BIRD; mBPP, k=5, permutation)",
+        headers=["Type", "alpha", "Coverage", "EAR", "Guarantee (1 - 2a)"],
+        rows=rows,
+        paper_rows=None,
+        notes=(
+            "The paper's figure is qualitative; the reproduction claim is "
+            "coverage >= the aggregated guarantee at every alpha, with EAR "
+            "decreasing in alpha. Checked by tests and visible in the rows."
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,51 @@
+"""Table 1: Text-to-SQL performance under schema-linking configurations.
+
+The paper measures the CHESS pipeline on BIRD-dev with (a) correct tables
++ correct columns, (b) full tables + full columns, and cites the best
+reported Gemini-based method. The headline: accurate schema linking is
+worth ~8 EX points, and closes most of the gap to the best method.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.sqlgen.evaluate import evaluate_text2sql, full_schema, golden_schema
+from repro.sqlgen.profiles import CHESS
+
+BEST_REPORTED_EX = 73.01  # CHASE-SQL (Gemini) on the BIRD leaderboard
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    bench = ctx.benchmark("bird")
+    golden = evaluate_text2sql(bench, "dev", golden_schema, CHESS, seed=21)
+    full = evaluate_text2sql(bench, "dev", full_schema, CHESS, seed=21)
+    rows = [
+        ["Correct tables + Correct columns", golden.execution_accuracy],
+        ["Full tables + Full columns", full.execution_accuracy],
+        ["Best reported based method (cited)", BEST_REPORTED_EX],
+    ]
+    paper = [
+        ["Correct tables + Correct columns", 72.4],
+        ["Full tables + Full columns", 64.52],
+        ["Best reported based method (cited)", 73.01],
+    ]
+    return ExperimentResult(
+        experiment_id="Table 1",
+        title="Text-to-SQL EX on BIRD-dev by schema configuration (CHESS profile)",
+        headers=["Schema Linking Configuration", "Execution Accuracy (EX)"],
+        rows=rows,
+        paper_rows=paper,
+        notes=(
+            "Golden schema beats full schema by the distraction cost of "
+            "irrelevant columns; the best-reported row is a cited leaderboard "
+            "constant in both the paper and here."
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,43 @@
+"""Table 2: baseline schema-linking model performance (no abstention)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import DATASETS, ExperimentContext, ExperimentResult
+from repro.linking.linker import SchemaLinker
+
+PAPER = {
+    ("Bird", "Table"): (79.70, 92.85, 95.00),
+    ("Bird", "Column"): (75.32, 89.87, 88.79),
+    ("Spider-dev", "Table"): (93.71, 98.17, 96.95),
+    ("Spider-dev", "Column"): (88.98, 94.41, 94.09),
+    ("Spider-test", "Table"): (92.72, 97.64, 96.74),
+    ("Spider-test", "Column"): (87.99, 92.21, 93.02),
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    linker = SchemaLinker(ctx.llm)
+    rows = []
+    paper_rows = []
+    for display, name, split in DATASETS:
+        for task, label in (("table", "Table"), ("column", "Column")):
+            metrics = linker.evaluate(ctx.instances(name, split, task))
+            em, p, r = metrics.as_row()
+            rows.append([label, display, em, p, r])
+            pem, pp, pr = PAPER[(display, label)]
+            paper_rows.append([label, display, pem, pp, pr])
+    return ExperimentResult(
+        experiment_id="Table 2",
+        title="Schema linking model performance",
+        headers=["Type", "Dataset", "Exact Match (%)", "Precision (%)", "Recall (%)"],
+        rows=rows,
+        paper_rows=paper_rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,49 @@
+"""Table 3: average sBPP AUC over the selected (top-k) probes."""
+
+from __future__ import annotations
+
+from repro.experiments.common import DATASETS, ExperimentContext, ExperimentResult
+
+PAPER = {
+    ("Table", "Bird"): 97.16,
+    ("Table", "Spider-dev"): 98.43,
+    ("Table", "Spider-test"): 97.90,
+    ("Column", "Bird"): 96.70,
+    ("Column", "Spider-dev"): 96.90,
+    ("Column", "Spider-test"): 96.60,
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    paper_rows = []
+    for task, label in (("table", "Table"), ("column", "Column")):
+        row = [label]
+        paper_row = [label]
+        for display, name, _split in DATASETS:
+            # The mBPP is trained on the benchmark's train split; AUC is
+            # its calibration-set score (§4.1 Implementation Details).
+            mbpp = ctx.pipeline(name).mbpp(task)
+            row.append(100.0 * mbpp.mean_auc)
+            paper_row.append(PAPER[(label, display)])
+        rows.append(row)
+        paper_rows.append(paper_row)
+    return ExperimentResult(
+        experiment_id="Table 3",
+        title="Average sBPP AUC (%) of the selected top-k probes",
+        headers=["Type", "Bird", "Spider-dev", "Spider-test"],
+        rows=rows,
+        paper_rows=paper_rows,
+        notes=(
+            "Spider dev/test share one fitted pipeline (the paper likewise "
+            "reports near-identical dev/test AUC)."
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,44 @@
+"""Table 4: surrogate model relevance-classification accuracy."""
+
+from __future__ import annotations
+
+from repro.experiments.common import DATASETS, ExperimentContext, ExperimentResult
+
+PAPER = {
+    ("Table", "Bird"): 92.37,
+    ("Table", "Spider-dev"): 96.45,
+    ("Table", "Spider-test"): 96.02,
+    ("Column", "Bird"): 94.06,
+    ("Column", "Spider-dev"): 96.30,
+    ("Column", "Spider-test"): 96.00,
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    paper_rows = []
+    for task, label in (("table", "Table"), ("column", "Column")):
+        row = [label]
+        paper_row = [label]
+        for display, name, split in DATASETS:
+            surrogate = ctx.surrogate(name)
+            accuracy = surrogate.accuracy(ctx.instances(name, split, task))
+            row.append(100.0 * accuracy)
+            paper_row.append(PAPER[(label, display)])
+        rows.append(row)
+        paper_rows.append(paper_row)
+    return ExperimentResult(
+        experiment_id="Table 4",
+        title="Surrogate model accuracy (%)",
+        headers=["Type", "Bird", "Spider-dev", "Spider-test"],
+        rows=rows,
+        paper_rows=paper_rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Table 6: joint table+column schema linking with human feedback.
+
+Tables are linked first, then columns restricted to the predicted
+tables; the (expert) human is consulted at every detected branching
+point. TAR/FAR are joint — "abstain" means the human was solicited —
+and come out far below the sum of Table 5's per-task rates because
+hard instances trigger both tasks (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DATASETS, ExperimentContext, ExperimentResult
+
+PAPER = {
+    "Bird": (96.90, 96.02, 18.95, 13.65),
+    "Spider-dev": (98.93, 96.71, 6.46, 8.15),
+    "Spider-test": (99.02, 96.11, 6.61, 8.20),
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    paper_rows = []
+    for display, name, split in DATASETS:
+        joints = ctx.joint_outcomes(name, split)
+        n = max(1, len(joints))
+        em_tables = 100.0 * sum(j.tables_correct for j in joints) / n
+        em_columns = 100.0 * sum(j.columns_correct for j in joints) / n
+        tar = 100.0 * sum(1 for j in joints if j.signalled and not j.unassisted_correct) / n
+        far = 100.0 * sum(1 for j in joints if j.signalled and j.unassisted_correct) / n
+        rows.append([display, em_tables, em_columns, tar, far])
+        paper_rows.append([display, *PAPER[display]])
+    return ExperimentResult(
+        experiment_id="Table 6",
+        title="Schema linking with human feedback (joint pipeline, expert)",
+        headers=["Dataset", "Table EM (%)", "Column EM (%)", "TAR (%)", "FAR (%)"],
+        rows=rows,
+        paper_rows=paper_rows,
+        notes=(
+            "Residual EM errors are omissions: Algorithm 2 attributes them "
+            "to a genuinely relevant item, which even a perfect human "
+            "confirms (see abstention/traceback.py)."
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Table 7: execution accuracy of downstream text-to-SQL with different
+schemas — golden (upper bound), RTS-linked (human-assisted), and the
+published baselines."""
+
+from __future__ import annotations
+
+from repro.experiments.common import DATASETS, ExperimentContext, ExperimentResult
+from repro.sqlgen.evaluate import (
+    evaluate_text2sql,
+    full_schema,
+    golden_schema,
+    rts_schema_provider,
+)
+from repro.sqlgen.profiles import CODES_15B, DEEPSEEK_7B
+
+PAPER = {
+    ("deepseek-7b", "Golden Schema"): (66.21, 90.13, 90.02),
+    ("deepseek-7b", "RTS-Schema"): (64.72, 88.90, 88.20),
+    ("deepseek-7b", "DTS-SQL (published)"): (55.8, 85.50, 84.4),
+    ("codes-15b", "Golden Schema"): (66.27, 90.02, 90.10),
+    ("codes-15b", "RTS-Schema"): (65.19, 89.10, 88.68),
+    ("codes-15b", "CodeS (published)"): (58.47, 84.90, 85.01),
+}
+
+_BASELINE_LABEL = {
+    "deepseek-7b": "DTS-SQL (published)",
+    "codes-15b": "CodeS (published)",
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    paper_rows = []
+    for profile in (DEEPSEEK_7B, CODES_15B):
+        measured: dict[str, list[float]] = {
+            "Golden Schema": [],
+            "RTS-Schema": [],
+            "Full Schema (our baseline)": [],
+        }
+        for _display, name, split in DATASETS:
+            bench = ctx.benchmark(name)
+            joints = {
+                j.example_id: j for j in ctx.joint_outcomes(name, split)
+            }
+            golden = evaluate_text2sql(bench, split, golden_schema, profile, seed=21)
+            rts = evaluate_text2sql(
+                bench, split, rts_schema_provider(joints), profile, seed=21
+            )
+            full = evaluate_text2sql(bench, split, full_schema, profile, seed=21)
+            measured["Golden Schema"].append(golden.execution_accuracy)
+            measured["RTS-Schema"].append(rts.execution_accuracy)
+            measured["Full Schema (our baseline)"].append(full.execution_accuracy)
+        for schema_type, values in measured.items():
+            rows.append([profile.name, schema_type, *values])
+        for schema_type in ("Golden Schema", "RTS-Schema", _BASELINE_LABEL[profile.name]):
+            paper_rows.append(
+                [profile.name, schema_type, *PAPER[(profile.name, schema_type)]]
+            )
+    return ExperimentResult(
+        experiment_id="Table 7",
+        title="Execution accuracy (%) for downstream text-to-SQL",
+        headers=["Model", "Schema Type", "Bird", "Spider-dev", "Spider-test"],
+        rows=rows,
+        paper_rows=paper_rows,
+        notes=(
+            "RTS-Schema nearly matches the golden-schema upper bound and "
+            "beats the no-linking baseline by a wide margin; the paper's "
+            "baseline rows are published end-to-end systems (cited "
+            "constants), ours is the same generator handed the full schema."
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

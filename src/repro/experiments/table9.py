@@ -1,0 +1,78 @@
+"""Table 9: accuracy of answering RTS-generated questions, by expertise
+and query difficulty.
+
+The oracle's *measured* answer accuracy is estimated by Monte Carlo over
+actual RTS relevance questions (mixing genuinely relevant and irrelevant
+items per difficulty tier) and compared with the paper's user-study
+rates, which parameterize the oracle. Agreement validates that the
+simulation wiring (task, difficulty routing, seeding) is faithful — the
+rates themselves are the paper's measurements by construction.
+"""
+
+from __future__ import annotations
+
+from repro.abstention.human import BEGINNER, EXPERT, HumanOracle
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.linking.instance import COLUMN_TASK, TABLE_TASK
+
+PAPER = {
+    ("Beginner", "Table"): (100.0, 96.0, 93.0),
+    ("Beginner", "Column"): (100.0, 92.0, 89.0),
+    ("Expert", "Table"): (100.0, 100.0, 99.0),
+    ("Expert", "Column"): (100.0, 97.0, 94.0),
+}
+
+DIFFICULTIES = ("simple", "moderate", "challenging")
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    paper_rows = []
+    for profile in (BEGINNER, EXPERT):
+        for task, label in ((TABLE_TASK, "Table"), (COLUMN_TASK, "Column")):
+            instances = ctx.instances("bird", "dev", task)
+            accuracies = []
+            for difficulty in DIFFICULTIES:
+                subset = [i for i in instances if i.difficulty == difficulty]
+                oracle = HumanOracle(profile, seed=13)
+                correct = total = 0
+                for instance in subset:
+                    if not instance.gold_items:
+                        continue
+                    # One genuinely relevant and one irrelevant query each.
+                    queries = [(instance.gold_items[:1], True)]
+                    non_gold = [
+                        c for c in instance.candidates
+                        if c not in set(instance.gold_items)
+                    ]
+                    if non_gold:
+                        queries.append(((non_gold[0],), False))
+                    for qidx, (items, truth) in enumerate(queries):
+                        answer = oracle.confirm_relevance(instance, items, qidx)
+                        correct += int(answer == truth)
+                        total += 1
+                accuracies.append(100.0 * correct / max(1, total))
+            rows.append([profile.name.capitalize(), label, *accuracies])
+            paper_rows.append(
+                [profile.name.capitalize(), label, *PAPER[(profile.name.capitalize(), label)]]
+            )
+    return ExperimentResult(
+        experiment_id="Table 9",
+        title="Accuracy (%) answering RTS questions by expertise and difficulty",
+        headers=["Participant Group", "Type", "Simple", "Moderate", "Challenging"],
+        rows=rows,
+        paper_rows=paper_rows,
+        notes=(
+            "The oracle is parameterized by the paper's user-study rates; "
+            "this experiment verifies the Monte Carlo estimates recover them "
+            "through the real question-asking path."
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run(ExperimentContext()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,39 @@
+"""Schema linking: instances, the linker wrapper, metrics and traces.
+
+``SchemaLinker``/``LinkingPrediction``/``BranchDataset`` are exposed
+lazily (PEP 562): they depend on :mod:`repro.llm`, which itself imports
+:mod:`repro.linking.instance`, and eager imports would close that cycle.
+"""
+
+from repro.linking.instance import SchemaLinkingInstance, column_item, parse_column_item
+from repro.linking.metrics import LinkingMetrics, exact_match, precision_recall
+
+__all__ = [
+    "SchemaLinkingInstance",
+    "column_item",
+    "parse_column_item",
+    "LinkingMetrics",
+    "exact_match",
+    "precision_recall",
+    "SchemaLinker",
+    "LinkingPrediction",
+    "BranchDataset",
+    "collect_branch_dataset",
+]
+
+_LAZY = {
+    "SchemaLinker": ("repro.linking.linker", "SchemaLinker"),
+    "LinkingPrediction": ("repro.linking.linker", "LinkingPrediction"),
+    "BranchDataset": ("repro.linking.dataset", "BranchDataset"),
+    "collect_branch_dataset": ("repro.linking.dataset", "collect_branch_dataset"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,119 @@
+"""D_branch construction (paper §3.1).
+
+Replays teacher-forced generations over labelled linking queries and
+collects, for every generated token, the per-layer hidden states plus the
+branching-point label. Labels are derived *by comparison with the gold
+stream* — ``proposed != committed`` under teacher forcing — exactly the
+paper's protocol; the simulator's private error plan is never consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linking.instance import SchemaLinkingInstance
+from repro.llm.model import TransparentLLM
+
+__all__ = ["BranchDataset", "collect_branch_dataset"]
+
+
+@dataclass
+class BranchDataset:
+    """Token-level probing dataset.
+
+    Attributes
+    ----------
+    hidden:
+        ``(n_tokens, n_layers, dim)`` hidden-state stacks.
+    labels:
+        ``(n_tokens,)`` booleans; True at branching points.
+    groups:
+        ``(n_tokens,)`` instance indices — splits must respect generation
+        boundaries (tokens of one generation are not exchangeable with
+        themselves).
+    instance_ids:
+        Instance id per group index.
+    """
+
+    hidden: np.ndarray
+    labels: np.ndarray
+    groups: np.ndarray
+    instance_ids: list[str]
+
+    def __post_init__(self) -> None:
+        if not (len(self.hidden) == len(self.labels) == len(self.groups)):
+            raise ValueError("hidden/labels/groups must align")
+
+    @property
+    def n_tokens(self) -> int:
+        return int(len(self.labels))
+
+    @property
+    def n_layers(self) -> int:
+        return int(self.hidden.shape[1]) if self.hidden.ndim == 3 else 0
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.labels.mean()) if len(self.labels) else 0.0
+
+    def layer(self, layer_index: int) -> np.ndarray:
+        """Feature matrix of one hidden layer, shape (n_tokens, dim)."""
+        return self.hidden[:, layer_index, :]
+
+    def split_by_group(
+        self, fraction: float, rng: np.random.Generator
+    ) -> tuple["BranchDataset", "BranchDataset"]:
+        """Split into (first, second) by *generation*, not by token."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        unique = np.unique(self.groups)
+        perm = rng.permutation(unique)
+        cut = max(1, int(round(fraction * len(unique))))
+        first_groups = set(perm[:cut].tolist())
+        mask = np.array([g in first_groups for g in self.groups])
+        return self._mask(mask), self._mask(~mask)
+
+    def _mask(self, mask: np.ndarray) -> "BranchDataset":
+        return BranchDataset(
+            hidden=self.hidden[mask],
+            labels=self.labels[mask],
+            groups=self.groups[mask],
+            instance_ids=self.instance_ids,
+        )
+
+    def branching_counts_per_generation(self) -> np.ndarray:
+        """Branching points per generation (Figure 3b's histogram input)."""
+        counts = []
+        for g in np.unique(self.groups):
+            counts.append(int(self.labels[self.groups == g].sum()))
+        return np.asarray(counts, dtype=int)
+
+
+def collect_branch_dataset(
+    llm: TransparentLLM,
+    instances: "list[SchemaLinkingInstance]",
+) -> BranchDataset:
+    """Run teacher-forced generation over ``instances`` and collect tokens."""
+    hidden_blocks: list[np.ndarray] = []
+    labels: list[bool] = []
+    groups: list[int] = []
+    ids: list[str] = []
+    for idx, instance in enumerate(instances):
+        trace = llm.teacher_forced_trace(instance)
+        ids.append(instance.instance_id)
+        for step in trace.steps:
+            hidden_blocks.append(step.hidden)
+            # Label derivation per §3.1: the proposal diverged from the
+            # gold continuation (which teacher forcing then committed).
+            labels.append(step.proposed != step.committed)
+            groups.append(idx)
+    if not hidden_blocks:
+        raise ValueError("no tokens collected — empty instance list?")
+    return BranchDataset(
+        hidden=np.stack(hidden_blocks),
+        labels=np.asarray(labels, dtype=bool),
+        groups=np.asarray(groups, dtype=int),
+        instance_ids=ids,
+    )

@@ -1,0 +1,136 @@
+"""Schema-linking instances: the unit of work for the linking model.
+
+An instance fixes the task (table or column linking), the candidate item
+universe (all table names, or all ``table.column`` pairs), and the gold
+items in canonical schema order — the order the fine-tuned model is
+trained to emit (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.dataset import Example, InstanceFeatures
+from repro.schema.database import Database
+
+__all__ = [
+    "SchemaLinkingInstance",
+    "column_item",
+    "parse_column_item",
+    "TABLE_TASK",
+    "COLUMN_TASK",
+]
+
+TABLE_TASK = "table"
+COLUMN_TASK = "column"
+
+
+def column_item(table: str, column: str) -> str:
+    """Canonical item string for a column: ``table.column``."""
+    return f"{table}.{column}"
+
+
+def parse_column_item(item: str) -> tuple[str, str]:
+    """Inverse of :func:`column_item`."""
+    table, _, column = item.partition(".")
+    if not column:
+        raise ValueError(f"not a column item: {item!r}")
+    return table, column
+
+
+@dataclass(frozen=True)
+class SchemaLinkingInstance:
+    """One schema-linking query: predict ``gold_items`` among ``candidates``.
+
+    ``candidates`` is the constrained-decoding universe (every table name,
+    or every qualified column) in canonical schema order; ``gold_items``
+    is the correct answer in the same order.
+    """
+
+    instance_id: str
+    db: Database
+    question: str
+    features: InstanceFeatures
+    task: str
+    candidates: tuple[str, ...]
+    gold_items: tuple[str, ...]
+    difficulty: str = "simple"
+    knowledge: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.task not in (TABLE_TASK, COLUMN_TASK):
+            raise ValueError(f"unknown task {self.task!r}")
+        cand = set(self.candidates)
+        missing = [g for g in self.gold_items if g not in cand]
+        if missing:
+            raise ValueError(f"gold items not in candidates: {missing}")
+        if len(set(self.candidates)) != len(self.candidates):
+            raise ValueError("duplicate candidates")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def for_tables(cls, example: Example, db: Database) -> "SchemaLinkingInstance":
+        """Table-linking instance for a benchmark example."""
+        candidates = tuple(t.name for t in db.tables)
+        gold_set = {t.lower() for t in example.gold_tables}
+        gold = tuple(t for t in candidates if t.lower() in gold_set)
+        return cls(
+            instance_id=f"{example.example_id}/table",
+            db=db,
+            question=example.question,
+            features=example.features,
+            task=TABLE_TASK,
+            candidates=candidates,
+            gold_items=gold,
+            difficulty=example.difficulty,
+            knowledge=example.knowledge,
+        )
+
+    @classmethod
+    def for_columns(
+        cls,
+        example: Example,
+        db: Database,
+        restrict_tables: "tuple[str, ...] | None" = None,
+    ) -> "SchemaLinkingInstance":
+        """Column-linking instance.
+
+        Without ``restrict_tables`` the candidate universe is every column
+        in the database (the paper's *independent* column-linking
+        evaluation). With it, candidates come only from the given tables
+        (the *joint* pipeline: tables first, then columns). Gold columns
+        belonging to excluded tables are dropped from the instance's gold
+        — the joint evaluation accounts for them at the pipeline level.
+        """
+        if restrict_tables is None:
+            tables = [t.name for t in db.tables]
+        else:
+            allowed = {t.lower() for t in restrict_tables}
+            tables = [t.name for t in db.tables if t.name.lower() in allowed]
+        candidates = tuple(
+            column_item(t, c.name) for t in tables for c in db.table(t).columns
+        )
+        gold_pairs = {
+            (t.lower(), c.lower())
+            for t, cols in example.gold_columns.items()
+            for c in cols
+        }
+        gold = tuple(
+            item
+            for item in candidates
+            if (lambda tc: (tc[0].lower(), tc[1].lower()) in gold_pairs)(
+                parse_column_item(item)
+            )
+        )
+        return cls(
+            instance_id=f"{example.example_id}/column",
+            db=db,
+            question=example.question,
+            features=example.features,
+            task=COLUMN_TASK,
+            candidates=candidates,
+            gold_items=gold,
+            difficulty=example.difficulty,
+            knowledge=example.knowledge,
+        )

@@ -1,0 +1,56 @@
+"""SchemaLinker: the plain (abstention-free) linking model wrapper.
+
+Wraps a :class:`TransparentLLM` and exposes set-level predictions — the
+baseline whose Table 2 numbers RTS improves on by abstaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.linking.instance import SchemaLinkingInstance
+from repro.linking.metrics import LinkingMetrics, evaluate_linking
+from repro.llm.model import GenerationTrace, TransparentLLM
+
+__all__ = ["LinkingPrediction", "SchemaLinker"]
+
+
+@dataclass
+class LinkingPrediction:
+    """Free-generation linking output for one instance."""
+
+    instance: SchemaLinkingInstance
+    items: tuple[str, ...]
+    trace: GenerationTrace
+
+    @property
+    def correct(self) -> bool:
+        return {i.lower() for i in self.items} == {
+            i.lower() for i in self.instance.gold_items
+        }
+
+
+class SchemaLinker:
+    """Predicts linked schema items by free generation (no abstention)."""
+
+    def __init__(self, llm: TransparentLLM):
+        self.llm = llm
+
+    def predict(self, instance: SchemaLinkingInstance) -> LinkingPrediction:
+        trace = self.llm.generate(instance)
+        return LinkingPrediction(instance=instance, items=trace.items, trace=trace)
+
+    def predict_many(
+        self, instances: "Sequence[SchemaLinkingInstance]"
+    ) -> list[LinkingPrediction]:
+        return [self.predict(inst) for inst in instances]
+
+    def evaluate(
+        self, instances: "Sequence[SchemaLinkingInstance]"
+    ) -> LinkingMetrics:
+        """Table 2's protocol: free generation scored by EM / P / R."""
+        pairs = [
+            (inst.gold_items, self.predict(inst).items) for inst in instances
+        ]
+        return evaluate_linking(pairs)

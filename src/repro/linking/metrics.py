@@ -1,0 +1,73 @@
+"""Schema-linking metrics: exact set match, precision, recall (§4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["LinkingMetrics", "exact_match", "precision_recall", "evaluate_linking"]
+
+
+def _norm(items: Iterable[str]) -> frozenset[str]:
+    return frozenset(i.lower() for i in items)
+
+
+def exact_match(gold: Iterable[str], predicted: Iterable[str]) -> bool:
+    """Exact set match: predicted set equals gold set (case-insensitive)."""
+    return _norm(gold) == _norm(predicted)
+
+
+def precision_recall(
+    gold: Iterable[str], predicted: Iterable[str]
+) -> tuple[float, float]:
+    """Per-instance precision and recall as defined in §4.2.
+
+    An empty prediction has precision 1 by convention (no false
+    positives); empty gold never occurs in the benchmarks.
+    """
+    g, p = _norm(gold), _norm(predicted)
+    tp = len(g & p)
+    precision = tp / len(p) if p else 1.0
+    recall = tp / len(g) if g else 1.0
+    return precision, recall
+
+
+@dataclass(frozen=True)
+class LinkingMetrics:
+    """Aggregate linking quality over a collection of instances."""
+
+    exact_match: float
+    precision: float
+    recall: float
+    n: int
+
+    def as_row(self) -> tuple[float, float, float]:
+        """Percent-scaled (EM, P, R) — the paper's Table 2 layout."""
+        return (
+            100.0 * self.exact_match,
+            100.0 * self.precision,
+            100.0 * self.recall,
+        )
+
+
+def evaluate_linking(
+    pairs: "Sequence[tuple[Iterable[str], Iterable[str]]]",
+) -> LinkingMetrics:
+    """Aggregate (gold, predicted) pairs into :class:`LinkingMetrics`."""
+    if not pairs:
+        return LinkingMetrics(float("nan"), float("nan"), float("nan"), 0)
+    em = 0
+    precisions: list[float] = []
+    recalls: list[float] = []
+    for gold, predicted in pairs:
+        em += int(exact_match(gold, predicted))
+        p, r = precision_recall(gold, predicted)
+        precisions.append(p)
+        recalls.append(r)
+    n = len(pairs)
+    return LinkingMetrics(
+        exact_match=em / n,
+        precision=sum(precisions) / n,
+        recall=sum(recalls) / n,
+        n=n,
+    )

@@ -1,0 +1,40 @@
+"""The simulated transparent-box schema-linking LLM.
+
+This package substitutes for the paper's fine-tuned Deepseek-7B (see
+DESIGN.md §2): a deterministic simulator exposing exactly the interfaces
+RTS consumes — subword tokenization, trie-constrained decoding, per-layer
+hidden states, overconfident softmax probabilities, token-by-token
+sessions supporting teacher forcing and mid-generation intervention.
+"""
+
+from repro.llm.tokenizer import EOS, SEP, tokenize_identifier, tokenize_items, detokenize
+from repro.llm.trie import ItemTrie
+from repro.llm.errors import ErrorEvent, ErrorModelConfig, plan_errors, error_propensity
+from repro.llm.hidden import HiddenStateSynthesizer, HiddenConfig
+from repro.llm.model import (
+    GenerationSession,
+    GenerationStep,
+    GenerationTrace,
+    LLMConfig,
+    TransparentLLM,
+)
+
+__all__ = [
+    "EOS",
+    "SEP",
+    "tokenize_identifier",
+    "tokenize_items",
+    "detokenize",
+    "ItemTrie",
+    "ErrorEvent",
+    "ErrorModelConfig",
+    "plan_errors",
+    "error_propensity",
+    "HiddenStateSynthesizer",
+    "HiddenConfig",
+    "GenerationSession",
+    "GenerationStep",
+    "GenerationTrace",
+    "LLMConfig",
+    "TransparentLLM",
+]

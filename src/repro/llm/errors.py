@@ -1,0 +1,230 @@
+"""The simulated linker's error process.
+
+A fine-tuned schema linker errs more on ambiguous questions, opaque
+(dirty, undescribed) identifiers, knowledge-dependent phrasing and larger
+schemas (paper §1, Figure 1). This module turns those *measured* instance
+features into an error propensity, and plans concrete error events
+(substitute / omit / insert a schema item) whose token streams diverge
+from gold exactly where the paper's branching points live.
+
+There are no per-benchmark constants here: BIRD is harder than Spider
+only because its instances measure worse on these features.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.dataset import InstanceFeatures
+from repro.linking.instance import (
+    COLUMN_TASK,
+    SchemaLinkingInstance,
+    parse_column_item,
+)
+from repro.utils.rng import spawn, stable_hash
+from repro.utils.text import split_identifier
+
+__all__ = ["ErrorEvent", "ErrorModelConfig", "error_propensity", "plan_errors"]
+
+SUBSTITUTE = "substitute"
+OMIT = "omit"
+INSERT = "insert"
+
+
+@dataclass(frozen=True)
+class ErrorEvent:
+    """One planned divergence.
+
+    ``slot`` indexes the gold item list; ``slot == len(gold_items)``
+    denotes the end-of-sequence position (where only INSERT applies).
+    """
+
+    slot: int
+    kind: str
+    payload: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SUBSTITUTE, OMIT, INSERT):
+            raise ValueError(f"unknown error kind {self.kind!r}")
+        if self.kind in (SUBSTITUTE, INSERT) and not self.payload:
+            raise ValueError(f"{self.kind} events need a payload item")
+
+
+@dataclass(frozen=True)
+class ErrorModelConfig:
+    """Coefficients of the error propensity and event distribution.
+
+    Calibrated (see ``experiments/calibrate.py``) so the *emergent*
+    linking accuracy lands near the paper's Table 2 on the default
+    corpora; the coefficients themselves are benchmark-agnostic.
+    """
+
+    base_logit: float = -3.78
+    w_table_ambiguity: float = 0.9
+    w_column_ambiguity: float = 0.9
+    w_dirty_gap: float = 2.6
+    w_knowledge: float = 1.1
+    w_schema_size: float = 0.05  # per table beyond six
+    w_gold_size: float = 0.22  # per gold item beyond one
+    difficulty_shift: tuple[float, ...] = (0.0, 0.45, 0.85)  # simple/moderate/challenging
+    column_task_shift: float = 0.50
+    # Distribution of the number of branching events in an erroneous
+    # generation (Figure 3b: >90% have one or two).
+    n_events_probs: tuple[float, ...] = (0.70, 0.22, 0.08)
+    kind_probs: tuple[float, ...] = (0.35, 0.15, 0.50)  # substitute/omit/insert
+    max_propensity: float = 0.75
+
+
+_DIFFICULTY_INDEX = {"simple": 0, "moderate": 1, "challenging": 2}
+
+
+def error_propensity(
+    features: InstanceFeatures,
+    task: str,
+    difficulty: str,
+    config: "ErrorModelConfig | None" = None,
+) -> float:
+    """P(the generation for this instance contains at least one error)."""
+    cfg = config or ErrorModelConfig()
+    logit = (
+        cfg.base_logit
+        + cfg.w_table_ambiguity * features.table_ambiguity
+        + cfg.w_column_ambiguity * features.column_ambiguity
+        + cfg.w_dirty_gap * features.dirty_gap
+        + cfg.w_knowledge * float(features.needs_knowledge)
+        + cfg.w_schema_size * max(0, features.n_tables - 6)
+        + cfg.w_gold_size * max(0, features.n_gold_tables - 1)
+        + cfg.difficulty_shift[_DIFFICULTY_INDEX[difficulty]]
+    )
+    if task == COLUMN_TASK:
+        logit += cfg.column_task_shift
+    p = 1.0 / (1.0 + math.exp(-logit))
+    return min(p, cfg.max_propensity)
+
+
+# -- distractor selection ----------------------------------------------------
+
+
+def _item_words(instance: SchemaLinkingInstance, item: str) -> set[str]:
+    """Semantic + surface words of an item, for similarity scoring."""
+    words: set[str] = set(split_identifier(item))
+    db = instance.db
+    try:
+        if instance.task == COLUMN_TASK:
+            table, column = parse_column_item(item)
+            words |= set(db.table(table).semantic_words)
+            words |= set(db.table(table).column(column).semantic_words)
+        else:
+            words |= set(db.table(item).semantic_words)
+    except KeyError:
+        pass
+    return words
+
+
+def _similarity(instance: SchemaLinkingInstance, a: str, b: str) -> float:
+    """Confusability of items ``a`` and ``b`` (shared words, shared table)."""
+    wa, wb = _item_words(instance, a), _item_words(instance, b)
+    if not wa or not wb:
+        return 0.0
+    jaccard = len(wa & wb) / len(wa | wb)
+    bonus = 0.0
+    if instance.task == COLUMN_TASK:
+        ta, _ = parse_column_item(a)
+        tb, _ = parse_column_item(b)
+        if ta.lower() == tb.lower():
+            bonus = 0.35  # wrong column of the right table: the classic miss
+    return jaccard + bonus
+
+
+def _pick_distractor(
+    instance: SchemaLinkingInstance,
+    anchor: str,
+    taken: set[str],
+    rng: np.random.Generator,
+) -> "str | None":
+    """A non-gold candidate the model would plausibly confuse with ``anchor``.
+
+    Scores candidates by confusability and samples from the top scorers —
+    deterministic-ish but not always the single most similar item.
+    """
+    gold = set(instance.gold_items)
+    pool = [c for c in instance.candidates if c not in gold and c not in taken]
+    if not pool:
+        return None
+    scored = sorted(
+        pool,
+        key=lambda c: (-_similarity(instance, anchor, c), c),
+    )
+    top = scored[: max(1, min(3, len(scored)))]
+    return top[int(rng.integers(0, len(top)))]
+
+
+# -- event planning ----------------------------------------------------------
+
+
+def plan_errors(
+    instance: SchemaLinkingInstance,
+    model_seed: int,
+    config: "ErrorModelConfig | None" = None,
+) -> list[ErrorEvent]:
+    """Plan the error events for one generation (deterministic per seed).
+
+    The *occurrence* draw uses a latent hardness shared across the
+    table/column tasks of the same example (seeded by the example id), so
+    instances too hard for table linking are usually too hard for column
+    linking as well — the overlap the paper observes in §4.3 ("if the
+    table linking operation abstains, the column linking operation is
+    likely to do the same").
+    """
+    cfg = config or ErrorModelConfig()
+    if not instance.gold_items:
+        # Degenerate instance (e.g. column linking restricted to wrongly
+        # predicted tables): the model has nothing to emit but EOS.
+        return []
+    example_key = instance.instance_id.rsplit("/", 1)[0]
+    hardness_rng = spawn(model_seed, "hardness", example_key)
+    hardness = float(hardness_rng.random())
+    p = error_propensity(instance.features, instance.task, instance.difficulty, cfg)
+    if hardness >= p:
+        return []
+
+    rng = spawn(model_seed, "events", instance.instance_id)
+    n_gold = len(instance.gold_items)
+    probs = np.asarray(cfg.n_events_probs, dtype=float)
+    n_events = 1 + int(rng.choice(len(probs), p=probs / probs.sum()))
+    # Slots 0..n_gold-1 are item slots; slot n_gold is the EOS position.
+    slots = list(rng.permutation(n_gold + 1))[:n_events]
+
+    events: list[ErrorEvent] = []
+    taken: set[str] = set()
+    planned_omits = 0
+    kind_probs = np.asarray(cfg.kind_probs, dtype=float)
+    kind_probs = kind_probs / kind_probs.sum()
+    for slot in sorted(int(s) for s in slots):
+        if slot == n_gold:
+            anchor = instance.gold_items[-1] if instance.gold_items else ""
+            payload = _pick_distractor(instance, anchor, taken, rng)
+            if payload is None:
+                continue
+            taken.add(payload)
+            events.append(ErrorEvent(slot=slot, kind=INSERT, payload=payload))
+            continue
+        kind = (SUBSTITUTE, OMIT, INSERT)[int(rng.choice(3, p=kind_probs))]
+        if kind == OMIT and planned_omits + 1 >= n_gold:
+            kind = SUBSTITUTE  # never plan an empty generation
+        if kind == OMIT:
+            planned_omits += 1
+            events.append(ErrorEvent(slot=slot, kind=OMIT))
+            continue
+        payload = _pick_distractor(instance, instance.gold_items[slot], taken, rng)
+        if payload is None:
+            if n_gold > 1 and planned_omits + 1 < n_gold:
+                planned_omits += 1
+                events.append(ErrorEvent(slot=slot, kind=OMIT))
+            continue
+        taken.add(payload)
+        events.append(ErrorEvent(slot=slot, kind=kind, payload=payload))
+    return events

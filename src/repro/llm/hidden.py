@@ -1,0 +1,241 @@
+"""Per-layer hidden-state synthesis.
+
+The simulator emits an ``(n_layers, dim)`` hidden-state stack per
+generated token, constructed so that:
+
+* a fixed per-layer random projection of token/context features gives
+  each layer realistic, token-dependent structure (probes must separate
+  signal from this variation — they genuinely *learn*);
+* at branching tokens an *uncertainty direction* is added, with strength
+  drawn per event (some branching points are faint) and a per-layer gain
+  profile peaking in mid-late layers, as the probing literature the paper
+  cites reports for real LLMs;
+* a small rate of non-branching tokens receives a weak spurious signal,
+  so the probes' false-positive behaviour (and hence EAR) is non-trivial;
+* the next-token softmax max-probability is over-confident for correct
+  AND wrong tokens (Figure 3a), which is what defeats logit-based
+  uncertainty baselines and motivates hidden-state probing.
+
+Everything is a pure function of (model seed, instance id, position),
+so traces are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import spawn, stable_hash
+
+__all__ = ["HiddenConfig", "HiddenStateSynthesizer"]
+
+
+@dataclass(frozen=True)
+class HiddenConfig:
+    """Architecture and signal parameters of the simulated model."""
+
+    n_layers: int = 12
+    dim: int = 32
+    token_embed_dim: int = 12
+    prev_embed_dim: int = 6
+    instance_embed_dim: int = 6
+    noise_scale: float = 0.45
+    signal_base: float = 2.4
+    # Per-layer gain profile (length n_layers); mid-late peak.
+    layer_gains: tuple[float, ...] = (
+        0.05, 0.10, 0.22, 0.38, 0.60, 0.85, 1.00, 1.08, 1.02, 0.85, 0.62, 0.40,
+    )
+    # Branching-signal strength is lognormal with a heavy lower tail
+    # (sigma below): some branching points are intrinsically faint. A
+    # small extra mixture of near-invisible ones models the genuinely
+    # undetectable errors. Keeping the tail *continuous* matters: a
+    # bimodal strength distribution makes the conformal class-1 quantile
+    # collapse to "include everything" right at alpha = 0.1.
+    signal_sigma: float = 0.40
+    faint_signal_rate: float = 0.03  # branching tokens that are hard to detect
+    faint_signal_scale: float = 0.35
+    # Spurious (false) uncertainty fires only at *decision points* — item
+    # starts and the continue/stop choices at SEP/EOS — where a real
+    # model's next-token entropy concentrates; mid-item tokens are
+    # trie-constrained continuations. The rate scales with the instance's
+    # error propensity (the model is nervous on hard instances even when
+    # it gets them right) and decays geometrically with the item index
+    # (uncertainty is front-loaded: once the first items are settled the
+    # continuation is increasingly determined), keeping the per-generation
+    # false-flag mass roughly constant across output lengths.
+    # Of the spurious signals, ``spurious_real_fraction`` are drawn from
+    # the *same* strength distribution as true branching signals (false
+    # uncertainty feels exactly like true uncertainty to a probe); the
+    # remainder are weak. This makes the false-flag rate self-calibrating
+    # — those lookalikes cross the conformal threshold whenever real
+    # signals do — so instance-level FAR is stable across tasks and
+    # benchmarks instead of hinging on where the class-1 quantile lands.
+    spurious_rate: float = 0.07
+    spurious_real_fraction: float = 0.5
+    spurious_weak_scale: float = 0.25
+    spurious_nervousness_floor: float = 0.4
+    spurious_nervousness_gain: float = 2.8
+    spurious_item_decay: float = 0.5
+    # Overconfident softmax (Figure 3a): Beta deficit parameters. The two
+    # distributions overlap almost completely — a fine-tuned linker is
+    # confident regardless of correctness — which is precisely what makes
+    # probability thresholding useless as a branching detector (§3.1).
+    prob_correct_beta: tuple[float, float, float] = (1.0, 16.0, 0.08)
+    prob_branch_beta: tuple[float, float, float] = (1.0, 12.0, 0.10)
+
+    def __post_init__(self) -> None:
+        if len(self.layer_gains) != self.n_layers:
+            raise ValueError(
+                f"layer_gains has {len(self.layer_gains)} entries for "
+                f"{self.n_layers} layers"
+            )
+
+    @property
+    def feature_dim(self) -> int:
+        # token + prev + instance embeds, 4 positional, item idx, within idx.
+        return (
+            self.token_embed_dim
+            + self.prev_embed_dim
+            + self.instance_embed_dim
+            + 4
+            + 2
+        )
+
+
+class HiddenStateSynthesizer:
+    """Deterministic hidden-state and softmax-probability generator."""
+
+    def __init__(self, config: "HiddenConfig | None" = None, seed: int = 0):
+        self.config = config or HiddenConfig()
+        self.seed = seed
+        cfg = self.config
+        rng = spawn(seed, "hidden-weights")
+        # Fixed per-model projections and per-layer uncertainty directions.
+        self._W = rng.normal(
+            0.0, 1.0 / math.sqrt(cfg.feature_dim), size=(cfg.n_layers, cfg.dim, cfg.feature_dim)
+        )
+        self._b = rng.normal(0.0, 0.1, size=(cfg.n_layers, cfg.dim))
+        dirs = rng.normal(size=(cfg.n_layers, cfg.dim))
+        self._dirs = dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+        self._gains = np.asarray(cfg.layer_gains, dtype=float)
+        self._embed_cache: dict[tuple[str, str], np.ndarray] = {}
+
+    # -- embeddings ----------------------------------------------------------
+
+    def _embed(self, kind: str, text: str, dim: int) -> np.ndarray:
+        key = (kind, text)
+        cached = self._embed_cache.get(key)
+        if cached is None:
+            rng = spawn(self.seed, "embed", kind, text)
+            cached = rng.normal(0.0, 1.0, size=dim)
+            self._embed_cache[key] = cached
+        return cached
+
+    def _features(
+        self,
+        instance_id: str,
+        position: int,
+        token: str,
+        prev_token: str,
+        item_index: int,
+        within_index: int,
+    ) -> np.ndarray:
+        cfg = self.config
+        pos = float(position)
+        parts = [
+            self._embed("tok", token, cfg.token_embed_dim),
+            self._embed("prev", prev_token, cfg.prev_embed_dim),
+            self._embed("inst", instance_id, cfg.instance_embed_dim),
+            np.array(
+                [
+                    math.sin(pos / 3.0),
+                    math.cos(pos / 3.0),
+                    math.sin(pos / 11.0),
+                    math.cos(pos / 11.0),
+                ]
+            ),
+            np.array([item_index / 5.0, within_index / 5.0]),
+        ]
+        return np.concatenate(parts)
+
+    # -- public API ------------------------------------------------------------
+
+    def signal_strength(
+        self,
+        instance_id: str,
+        position: int,
+        is_branching: bool,
+        decision_point: bool = True,
+        nervousness: float = 0.0,
+        item_index: int = 0,
+    ) -> float:
+        """The uncertainty-signal magnitude for one token (0 when absent)."""
+        cfg = self.config
+        rng = spawn(self.seed, "signal", instance_id, position)
+        if is_branching:
+            strength = cfg.signal_base * float(rng.lognormal(0.0, cfg.signal_sigma))
+            if rng.random() < cfg.faint_signal_rate:
+                strength *= cfg.faint_signal_scale
+            return strength
+        rate = (
+            cfg.spurious_rate
+            * (
+                cfg.spurious_nervousness_floor
+                + cfg.spurious_nervousness_gain * nervousness
+            )
+            * cfg.spurious_item_decay**item_index
+        )
+        if decision_point and rng.random() < rate:
+            if rng.random() < cfg.spurious_real_fraction:
+                # A lookalike: indistinguishable from a true branching signal.
+                return cfg.signal_base * float(rng.lognormal(0.0, cfg.signal_sigma))
+            return (
+                cfg.signal_base
+                * cfg.spurious_weak_scale
+                * float(rng.lognormal(0.0, 0.4))
+            )
+        return 0.0
+
+    def hidden_states(
+        self,
+        instance_id: str,
+        position: int,
+        token: str,
+        prev_token: str,
+        item_index: int,
+        within_index: int,
+        is_branching: bool,
+        decision_point: bool = True,
+        nervousness: float = 0.0,
+    ) -> np.ndarray:
+        """The ``(n_layers, dim)`` hidden stack for one generated token."""
+        cfg = self.config
+        phi = self._features(
+            instance_id, position, token, prev_token, item_index, within_index
+        )
+        base = np.tanh(np.einsum("ldf,f->ld", self._W, phi) + self._b)
+        strength = self.signal_strength(
+            instance_id,
+            position,
+            is_branching,
+            decision_point,
+            nervousness,
+            item_index=item_index,
+        )
+        if strength > 0.0:
+            base = base + (self._gains * strength)[:, None] * self._dirs
+        noise_rng = spawn(self.seed, "noise", instance_id, position)
+        return base + cfg.noise_scale * noise_rng.normal(
+            size=(cfg.n_layers, cfg.dim)
+        )
+
+    def max_prob(self, instance_id: str, position: int, is_branching: bool) -> float:
+        """Over-confident next-token max softmax probability (Figure 3a)."""
+        cfg = self.config
+        a, b, scale = (
+            cfg.prob_branch_beta if is_branching else cfg.prob_correct_beta
+        )
+        rng = spawn(self.seed, "prob", instance_id, position)
+        return float(1.0 - scale * rng.beta(a, b))

@@ -1,0 +1,454 @@
+"""The TransparentLLM simulator and its token-by-token generation session.
+
+The session realizes the paper's generation protocol exactly:
+
+* constrained decoding — proposals always extend a valid candidate item;
+* branching points — the first token where the proposal diverges from the
+  gold stream (while the committed prefix is still gold-aligned);
+* teacher forcing — ``force_token`` replaces a branching proposal with
+  the gold token, the causal error event is consumed, and the plan
+  re-aligns so generation continues (possibly to err again at a later
+  slot, yielding the multi-branching-point generations of Figure 3b);
+* free running — committing a branching proposal lets the generation
+  walk off the gold path (what an unprotected linker does).
+
+Consumers read tokens, hidden states and softmax probabilities; the
+internal error plan is never exposed to inference-time components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.linking.instance import SchemaLinkingInstance
+from repro.llm.errors import (
+    ErrorEvent,
+    ErrorModelConfig,
+    INSERT,
+    OMIT,
+    error_propensity,
+    plan_errors,
+)
+from repro.llm.hidden import HiddenConfig, HiddenStateSynthesizer
+from repro.llm.tokenizer import EOS, SEP, detokenize, tokenize_identifier, tokenize_items
+from repro.llm.trie import ItemTrie
+
+__all__ = ["LLMConfig", "GenerationStep", "GenerationTrace", "GenerationSession", "TransparentLLM"]
+
+
+@dataclass(frozen=True)
+class LLMConfig:
+    """Simulated model configuration."""
+
+    name: str = "sim-deepseek-7b"
+    hidden: HiddenConfig = field(default_factory=HiddenConfig)
+    errors: ErrorModelConfig = field(default_factory=ErrorModelConfig)
+
+
+@dataclass
+class GenerationStep:
+    """One decoding step: the proposal plus its observables.
+
+    ``is_branching`` is ground truth derived from gold comparison; it is
+    recorded for label construction (D_branch) and evaluation, and must
+    not be read by inference-time components (the probes exist precisely
+    to predict it from ``hidden``).
+    """
+
+    position: int
+    proposed: str
+    hidden: np.ndarray
+    max_prob: float
+    item_index: int
+    within_index: int
+    is_branching: bool
+    committed: "str | None" = None
+    forced: bool = False
+
+
+@dataclass
+class GenerationTrace:
+    """A finished (or aborted) generation."""
+
+    instance_id: str
+    steps: list[GenerationStep]
+    aborted: bool = False
+
+    @property
+    def committed_tokens(self) -> tuple[str, ...]:
+        return tuple(s.committed for s in self.steps if s.committed is not None)
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        return tuple(detokenize(self.committed_tokens))
+
+    @property
+    def n_branching(self) -> int:
+        return sum(1 for s in self.steps if s.is_branching)
+
+    def hidden_matrix(self) -> np.ndarray:
+        """Stack of hidden states, shape (n_steps, n_layers, dim)."""
+        if not self.steps:
+            return np.zeros((0, 0, 0))
+        return np.stack([s.hidden for s in self.steps])
+
+    def branching_labels(self) -> np.ndarray:
+        return np.array([s.is_branching for s in self.steps], dtype=bool)
+
+
+@dataclass
+class _PlannedItem:
+    name: str
+    tokens: tuple[str, ...]
+    slot: int
+    event: "ErrorEvent | None"
+
+
+class GenerationSession:
+    """Stateful token-by-token generation for one linking instance."""
+
+    def __init__(
+        self,
+        llm: "TransparentLLM",
+        instance: SchemaLinkingInstance,
+        events: "list[ErrorEvent] | None" = None,
+    ):
+        self.llm = llm
+        self.instance = instance
+        self.trie = ItemTrie(instance.candidates)
+        self._gold_items = instance.gold_items
+        self._gold_stream = tokenize_items(instance.gold_items)
+        self._gold_tags = self._annotate_gold()
+        self._events: dict[int, ErrorEvent] = {
+            e.slot: e for e in (events if events is not None else [])
+        }
+        self._consumed: set[int] = set()
+        self._queue: list[_PlannedItem] = self._plan(0)
+        self._need_sep = False
+        self._within = 0
+        self._last_popped_event: "ErrorEvent | None" = None
+        self._aligned = True
+        self.steps: list[GenerationStep] = []
+        self._n_committed = 0
+        self._pending: "GenerationStep | None" = None
+        self.done = False
+        self.aborted = False
+        # The model's instance-level "nervousness" drives the rate of
+        # spurious uncertainty signals at decision points (see hidden.py).
+        self._nervousness = error_propensity(
+            instance.features, instance.task, instance.difficulty, llm.config.errors
+        )
+
+    # -- planning -------------------------------------------------------------
+
+    def _annotate_gold(self) -> list[tuple]:
+        """Tag each gold-stream position: (kind, gold item index, offset)."""
+        tags: list[tuple] = []
+        for g, item in enumerate(self._gold_items):
+            if g:
+                tags.append(("sep", g, 0))
+            for o, _tok in enumerate(tokenize_identifier(item)):
+                tags.append(("item", g, o))
+        tags.append(("eos", len(self._gold_items), 0))
+        return tags
+
+    def _plan(self, start_slot: int) -> list[_PlannedItem]:
+        """Planned items for gold slots >= start_slot with live events."""
+        out: list[_PlannedItem] = []
+        n = len(self._gold_items)
+        for slot in range(start_slot, n):
+            event = self._events.get(slot)
+            if event is not None and slot in self._consumed:
+                event = None
+            gold = self._gold_items[slot]
+            if event is None:
+                out.append(_PlannedItem(gold, tokenize_identifier(gold), slot, None))
+            elif event.kind == OMIT:
+                continue
+            elif event.kind == INSERT:
+                out.append(
+                    _PlannedItem(
+                        event.payload, tokenize_identifier(event.payload), slot, event
+                    )
+                )
+                out.append(_PlannedItem(gold, tokenize_identifier(gold), slot, None))
+            else:  # substitute
+                out.append(
+                    _PlannedItem(
+                        event.payload, tokenize_identifier(event.payload), slot, event
+                    )
+                )
+        eos_event = self._events.get(n)
+        if eos_event is not None and n not in self._consumed and start_slot <= n:
+            out.append(
+                _PlannedItem(
+                    eos_event.payload,
+                    tokenize_identifier(eos_event.payload),
+                    n,
+                    eos_event,
+                )
+            )
+        return out
+
+    # -- observables -------------------------------------------------------------
+
+    @property
+    def n_committed(self) -> int:
+        return self._n_committed
+
+    @property
+    def committed_tokens(self) -> tuple[str, ...]:
+        return tuple(s.committed for s in self.steps if s.committed is not None)
+
+    @property
+    def aligned(self) -> bool:
+        """Whether the committed prefix still equals the gold prefix."""
+        return self._aligned
+
+    def decoded_items(self) -> list[str]:
+        return detokenize(self.committed_tokens)
+
+    # -- decoding -------------------------------------------------------------
+
+    def _intended_token(self) -> str:
+        if self._need_sep:
+            return SEP
+        if not self._queue:
+            return EOS
+        return self._queue[0].tokens[self._within]
+
+    def propose(self) -> GenerationStep:
+        """Compute (or return the cached) next proposal with observables."""
+        if self.done:
+            raise RuntimeError("generation already finished")
+        if self._pending is not None:
+            return self._pending
+        token = self._intended_token()
+        is_branching = (
+            self._aligned
+            and self._n_committed < len(self._gold_stream)
+            and token != self._gold_stream[self._n_committed]
+        )
+        item_index = len(self.decoded_items())
+        decision_point = self._need_sep or not self._queue or self._within == 0
+        step = GenerationStep(
+            position=self._n_committed,
+            proposed=token,
+            hidden=self.llm.hidden.hidden_states(
+                self.instance.instance_id,
+                self._n_committed,
+                token,
+                self.steps[-1].committed if self.steps else "<bos>",
+                item_index,
+                self._within,
+                is_branching,
+                decision_point=decision_point,
+                nervousness=self._nervousness,
+            ),
+            max_prob=self.llm.hidden.max_prob(
+                self.instance.instance_id, self._n_committed, is_branching
+            ),
+            item_index=item_index,
+            within_index=self._within,
+            is_branching=is_branching,
+        )
+        self._pending = step
+        return step
+
+    def _advance_planned(self) -> None:
+        """Move the planned cursor past the token just committed."""
+        if self._need_sep:
+            self._need_sep = False
+            return
+        if not self._queue:
+            self.done = True
+            return
+        self._within += 1
+        if self._within >= len(self._queue[0].tokens):
+            popped = self._queue.pop(0)
+            self._last_popped_event = popped.event
+            self._within = 0
+            self._need_sep = bool(self._queue)
+        else:
+            self._last_popped_event = None
+
+    def commit(self) -> GenerationStep:
+        """Accept the pending proposal as the model's output token."""
+        step = self.propose()
+        step.committed = step.proposed
+        self.steps.append(step)
+        self._pending = None
+        if step.is_branching:
+            self._aligned = False
+        if self._aligned and step.committed == EOS:
+            self.done = True
+        self._n_committed += 1
+        self._advance_planned()
+        return step
+
+    def force_token(self, token: str) -> GenerationStep:
+        """Commit ``token`` instead of the proposal (teacher forcing).
+
+        Only gold-aligned corrections are supported: the committed prefix
+        must still match gold and ``token`` must be the next gold token.
+        The error event that caused the divergence is consumed and the
+        generation plan re-aligns to the gold path.
+        """
+        if not self._aligned:
+            raise RuntimeError("cannot force after the generation diverged")
+        if self._n_committed >= len(self._gold_stream):
+            raise RuntimeError("gold stream exhausted")
+        expected = self._gold_stream[self._n_committed]
+        if token != expected:
+            raise ValueError(
+                f"forced token {token!r} is not the gold continuation {expected!r}"
+            )
+        step = self.propose()
+        if not step.is_branching:
+            # Proposal already agreed with gold; forcing is a plain commit.
+            return self.commit()
+        event = self._causal_event()
+        if event is not None:
+            self._consumed.add(event.slot)
+        step.committed = token
+        step.forced = True
+        self.steps.append(step)
+        self._pending = None
+        self._n_committed += 1
+        self._realign()
+        return step
+
+    def _causal_event(self) -> "ErrorEvent | None":
+        """The error event responsible for the current divergence.
+
+        Under teacher forcing, events fire (and are consumed) in slot
+        order, so the cause is the earliest unconsumed event whose slot
+        is at or before the gold item the divergence lands in. (Simply
+        taking the current planned item's event is wrong when, e.g., an
+        omission at slot 0 puts the slot-1 substitution payload at the
+        head of the plan.)
+        """
+        _kind, g, _o = self._gold_tags[self._n_committed]
+        candidates = [
+            (slot, event)
+            for slot, event in self._events.items()
+            if slot <= g and slot not in self._consumed
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda pair: pair[0])[1]
+
+    def _realign(self) -> None:
+        """Rebuild the plan on the gold path after a forced correction."""
+        self._last_popped_event = None
+        kind, g, o = self._gold_tags[self._n_committed - 1]
+        if kind == "eos":
+            self.done = True
+            self._queue = []
+            return
+        if kind == "sep":
+            self._queue = self._plan(g)
+            self._need_sep = False
+            self._within = 0
+            return
+        # Mid-item: continue the gold item from offset o + 1.
+        gold = self._gold_items[g]
+        tokens = tokenize_identifier(gold)
+        if o + 1 >= len(tokens):
+            self._queue = self._plan(g + 1)
+            self._need_sep = bool(self._queue)
+            self._within = 0
+        else:
+            self._queue = [_PlannedItem(gold, tokens, g, None)] + self._plan(g + 1)
+            self._need_sep = False
+            self._within = o + 1
+
+    def peek_tokens(self, max_tokens: int = 64) -> list[str]:
+        """The tokens the model intends to emit next, without committing.
+
+        The first peeked token equals the current proposal. Used by
+        Algorithm 2 (Table Trace Back), which must inspect the model's
+        upcoming item before the pipeline decides whether to commit it.
+        """
+        queue = [item.tokens for item in self._queue]
+        need_sep, within = self._need_sep, self._within
+        out: list[str] = []
+        while len(out) < max_tokens:
+            if need_sep:
+                out.append(SEP)
+                need_sep = False
+                continue
+            if not queue:
+                out.append(EOS)
+                break
+            tokens = queue[0]
+            out.append(tokens[within])
+            within += 1
+            if within >= len(tokens):
+                queue.pop(0)
+                within = 0
+                need_sep = bool(queue)
+        return out
+
+    def abort(self) -> None:
+        """Stop generating (the abstention action)."""
+        self.done = True
+        self.aborted = True
+        self._pending = None
+
+    def run_to_completion(self) -> None:
+        """Commit proposals until EOS (free generation)."""
+        while not self.done:
+            self.commit()
+
+    def trace(self) -> GenerationTrace:
+        return GenerationTrace(
+            instance_id=self.instance.instance_id,
+            steps=self.steps,
+            aborted=self.aborted,
+        )
+
+
+class TransparentLLM:
+    """The simulated fine-tuned schema-linking model (see DESIGN.md §2)."""
+
+    def __init__(self, config: "LLMConfig | None" = None, seed: int = 0):
+        self.config = config or LLMConfig()
+        self.seed = seed
+        self.hidden = HiddenStateSynthesizer(self.config.hidden, seed)
+
+    @property
+    def n_layers(self) -> int:
+        return self.config.hidden.n_layers
+
+    def plan(self, instance: SchemaLinkingInstance) -> list[ErrorEvent]:
+        """The (private) error plan for an instance — used by sessions."""
+        return plan_errors(instance, self.seed, self.config.errors)
+
+    def start_session(self, instance: SchemaLinkingInstance) -> GenerationSession:
+        return GenerationSession(self, instance, self.plan(instance))
+
+    def generate(self, instance: SchemaLinkingInstance) -> GenerationTrace:
+        """Free-running generation: what an unprotected linker outputs."""
+        session = self.start_session(instance)
+        session.run_to_completion()
+        return session.trace()
+
+    def teacher_forced_trace(self, instance: SchemaLinkingInstance) -> GenerationTrace:
+        """Generation under the paper's §3.1 label-collection protocol.
+
+        Every divergence from gold is recorded as a branching point and
+        corrected in place, so the trace visits the full gold stream and
+        labels every token — the raw material of D_branch.
+        """
+        session = self.start_session(instance)
+        gold_stream = tokenize_items(instance.gold_items)
+        while not session.done:
+            step = session.propose()
+            if step.is_branching:
+                session.force_token(gold_stream[session.n_committed])
+            else:
+                session.commit()
+        return session.trace()

@@ -1,0 +1,87 @@
+"""Subword tokenizer over schema identifiers.
+
+Properties the rest of the system relies on:
+
+* **Lossless**: ``"".join(tokenize_identifier(name)) == name`` — the
+  decode step of Algorithm 2 (Table Trace Back) reconstructs item names
+  by concatenation.
+* **Subword granularity**: identifiers split at case/underscore
+  boundaries and long word pieces are chunked, so one table name spans
+  several tokens and a generation can branch *mid-name* — the regime the
+  paper's branching-point machinery is designed for.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SEP", "EOS", "MAX_PIECE", "tokenize_identifier", "tokenize_items", "detokenize"]
+
+SEP = ","
+EOS = "<eos>"
+MAX_PIECE = 6
+
+_RUNS = re.compile(r"[0-9A-Za-z]+|[^0-9A-Za-z]")
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+
+
+def tokenize_identifier(name: str) -> tuple[str, ...]:
+    """Tokenize one identifier into subword tokens.
+
+    >>> tokenize_identifier("lapTimes")
+    ('lap', 'Times')
+    >>> tokenize_identifier("L_TMS")
+    ('L', '_', 'TMS')
+    >>> tokenize_identifier("milliseconds")
+    ('millis', 'econds')
+    """
+    if not name:
+        raise ValueError("cannot tokenize an empty identifier")
+    tokens: list[str] = []
+    for run in _RUNS.findall(name):
+        if not run[0].isalnum():
+            tokens.append(run)
+            continue
+        for piece in _CAMEL_BOUNDARY.split(run):
+            while len(piece) > MAX_PIECE:
+                tokens.append(piece[:MAX_PIECE])
+                piece = piece[MAX_PIECE:]
+            if piece:
+                tokens.append(piece)
+    return tuple(tokens)
+
+
+def tokenize_items(items: "list[str] | tuple[str, ...]") -> tuple[str, ...]:
+    """Token stream for an item list: items joined by SEP, ending in EOS.
+
+    >>> tokenize_items(["races", "drivers"])
+    ('races', ',', 'driver', 's', '<eos>')
+    """
+    tokens: list[str] = []
+    for i, item in enumerate(items):
+        if i:
+            tokens.append(SEP)
+        tokens.extend(tokenize_identifier(item))
+    tokens.append(EOS)
+    return tuple(tokens)
+
+
+def detokenize(tokens: "list[str] | tuple[str, ...]") -> list[str]:
+    """Inverse of :func:`tokenize_items` (EOS optional, trailing partial kept).
+
+    >>> detokenize(('races', ',', 'driver', 's', '<eos>'))
+    ['races', 'drivers']
+    """
+    items: list[str] = []
+    current: list[str] = []
+    for tok in tokens:
+        if tok == EOS:
+            break
+        if tok == SEP:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(tok)
+    if current:
+        items.append("".join(current))
+    return items

@@ -1,0 +1,83 @@
+"""Constrained-decoding trie over candidate item token sequences.
+
+The schema-linking model may only emit tokens that extend some valid item
+name (paper §2.3: "We constrain the model's token level generation to
+only generate tokens in T^t utilizing constraint generation").
+"""
+
+from __future__ import annotations
+
+from repro.llm.tokenizer import tokenize_identifier
+
+__all__ = ["ItemTrie"]
+
+
+class _Node:
+    __slots__ = ("children", "item")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _Node] = {}
+        self.item: "str | None" = None  # set when a full item ends here
+
+
+class ItemTrie:
+    """Token-level trie over a fixed set of item names."""
+
+    def __init__(self, items: "list[str] | tuple[str, ...]"):
+        if not items:
+            raise ValueError("trie needs at least one item")
+        self._root = _Node()
+        self._items = tuple(items)
+        for item in items:
+            node = self._root
+            for tok in tokenize_identifier(item):
+                node = node.children.setdefault(tok, _Node())
+            if node.item is not None and node.item != item:
+                raise ValueError(
+                    f"items {node.item!r} and {item!r} share a token sequence"
+                )
+            node.item = item
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        return self._items
+
+    def _walk(self, prefix: "tuple[str, ...] | list[str]") -> "_Node | None":
+        node = self._root
+        for tok in prefix:
+            node = node.children.get(tok)
+            if node is None:
+                return None
+        return node
+
+    def valid_prefix(self, prefix: "tuple[str, ...] | list[str]") -> bool:
+        """Whether ``prefix`` extends to at least one item."""
+        return self._walk(prefix) is not None
+
+    def next_tokens(self, prefix: "tuple[str, ...] | list[str]") -> tuple[str, ...]:
+        """Allowed continuation tokens for an in-progress item."""
+        node = self._walk(prefix)
+        if node is None:
+            return ()
+        return tuple(node.children)
+
+    def completed_item(self, prefix: "tuple[str, ...] | list[str]") -> "str | None":
+        """The full item ``prefix`` spells, if it spells one exactly."""
+        node = self._walk(prefix)
+        return None if node is None else node.item
+
+    def completions(self, prefix: "tuple[str, ...] | list[str]") -> tuple[str, ...]:
+        """All items reachable from ``prefix``."""
+        node = self._walk(prefix)
+        if node is None:
+            return ()
+        out: list[str] = []
+
+        def collect(n: _Node) -> None:
+            if n.item is not None:
+                out.append(n.item)
+            for child in n.children.values():
+                collect(child)
+
+        collect(node)
+        return tuple(out)

@@ -1,0 +1,19 @@
+"""Branching Point Predictors: per-layer MLP probes (sBPP) wrapped in
+conformal prediction, aggregated into the multi-layer mBPP (§3.1–3.2).
+"""
+
+from repro.probes.mlp import MLPClassifier, MLPConfig
+from repro.probes.sbpp import SingleLayerBPP
+from repro.probes.selection import rank_layers
+from repro.probes.mbpp import MultiLayerBPP
+from repro.probes.metrics import BPPEvaluation, evaluate_bpp
+
+__all__ = [
+    "MLPClassifier",
+    "MLPConfig",
+    "SingleLayerBPP",
+    "rank_layers",
+    "MultiLayerBPP",
+    "BPPEvaluation",
+    "evaluate_bpp",
+]

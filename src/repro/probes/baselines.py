@@ -1,0 +1,85 @@
+"""Baseline branching-point detectors the paper argues against (§3.1).
+
+The intuitive alternative to hidden-state probing is to flag tokens whose
+next-token max softmax probability is low. Figure 3a shows why this
+fails for supervised fine-tuned linkers: the model is over-confident on
+correct *and* erroneous tokens, so no threshold separates them. This
+module implements that baseline so the claim is quantified, not just
+asserted (see ``experiments.ablations``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linking.dataset import BranchDataset
+from repro.linking.instance import SchemaLinkingInstance
+from repro.llm.model import TransparentLLM
+from repro.probes.metrics import BPPEvaluation, coverage_and_ear
+from repro.utils.stats import auc_score
+
+__all__ = ["LogitThresholdDetector", "collect_max_probs"]
+
+
+def collect_max_probs(
+    llm: TransparentLLM, instances: "list[SchemaLinkingInstance]"
+) -> tuple[np.ndarray, np.ndarray]:
+    """(max_probs, labels) over teacher-forced traces — the raw material
+    a logit-based detector has to work with."""
+    probs: list[float] = []
+    labels: list[bool] = []
+    for instance in instances:
+        for step in llm.teacher_forced_trace(instance).steps:
+            probs.append(step.max_prob)
+            labels.append(step.proposed != step.committed)
+    return np.asarray(probs), np.asarray(labels, dtype=bool)
+
+
+@dataclass
+class LogitThresholdDetector:
+    """Flag a token as branching iff its max softmax prob < threshold.
+
+    ``fit`` picks the threshold that maximizes Youden's J (TPR - FPR) on
+    held-out data — the most charitable calibration the baseline can get.
+    """
+
+    threshold: float = 0.9
+    auc: float = float("nan")
+
+    def fit(self, max_probs: np.ndarray, labels: np.ndarray) -> "LogitThresholdDetector":
+        max_probs = np.asarray(max_probs, dtype=float)
+        labels = np.asarray(labels, dtype=bool)
+        # Low probability should indicate branching: score = 1 - p.
+        self.auc = auc_score(labels, 1.0 - max_probs)
+        best_j, best_thr = -1.0, float(np.median(max_probs))
+        for thr in np.unique(max_probs):
+            predicted = max_probs < thr
+            pos = labels.sum()
+            neg = len(labels) - pos
+            if pos == 0 or neg == 0:
+                continue
+            tpr = (predicted & labels).sum() / pos
+            fpr = (predicted & ~labels).sum() / neg
+            j = tpr - fpr
+            if j > best_j:
+                best_j, best_thr = j, float(thr)
+        self.threshold = best_thr
+        return self
+
+    def predict(self, max_probs: np.ndarray) -> np.ndarray:
+        return np.asarray(max_probs, dtype=float) < self.threshold
+
+    def evaluate(
+        self, max_probs: np.ndarray, labels: np.ndarray
+    ) -> BPPEvaluation:
+        predicted = self.predict(max_probs)
+        labels = np.asarray(labels, dtype=bool)
+        coverage, ear = coverage_and_ear(labels, predicted)
+        return BPPEvaluation(
+            coverage=coverage,
+            ear=ear,
+            n_tokens=len(labels),
+            n_branching=int(labels.sum()),
+        )

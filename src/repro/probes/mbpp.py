@@ -1,0 +1,170 @@
+"""Conformal Multi-Layer Branching Point Predictor (mBPP, §3.2.3).
+
+Trains one sBPP per hidden layer, keeps the top-k by calibration AUC, and
+aggregates their conformal sets per token — by Algorithm 1's random
+permutation (the paper's choice) or by majority vote.
+
+A token is declared a branching point iff label 1 appears in the final
+aggregated set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.conformal.aggregate import majority_vote, random_permutation
+from repro.linking.dataset import BranchDataset
+from repro.probes.mlp import MLPConfig
+from repro.probes.sbpp import SingleLayerBPP
+from repro.probes.selection import rank_layers
+from repro.utils.rng import spawn
+
+__all__ = ["MultiLayerBPP"]
+
+PERMUTATION = "permutation"
+MAJORITY = "majority"
+
+
+class MultiLayerBPP:
+    """Aggregated branching point predictor over selected hidden layers."""
+
+    def __init__(
+        self,
+        sbpps: "list[SingleLayerBPP]",
+        method: str = PERMUTATION,
+        theta: float = 0.5,
+        seed: int = 0,
+    ):
+        if not sbpps:
+            raise ValueError("need at least one sBPP")
+        if method not in (PERMUTATION, MAJORITY):
+            raise ValueError(f"unknown aggregation method {method!r}")
+        self.sbpps = sbpps
+        self.method = method
+        self.theta = theta
+        self.seed = seed
+        # When built via train(), every layer's probe is kept here so
+        # variants (different k / alpha / aggregation) can be derived
+        # without re-training.
+        self.all_probes: "list[SingleLayerBPP]" = list(sbpps)
+
+    def with_alpha(self, alpha: float) -> "MultiLayerBPP":
+        """Re-calibrated copy at a new error level (probes reused)."""
+        clone = MultiLayerBPP(
+            sbpps=[p.with_alpha(alpha) for p in self.sbpps],
+            method=self.method,
+            theta=self.theta,
+            seed=self.seed,
+        )
+        clone.all_probes = [p.with_alpha(alpha) for p in self.all_probes]
+        return clone
+
+    def subset(self, k: int, method: "str | None" = None) -> "MultiLayerBPP":
+        """An mBPP over the top-k of *all* trained probes."""
+        keep = rank_layers([p.auc for p in self.all_probes], min(k, len(self.all_probes)))
+        clone = MultiLayerBPP(
+            sbpps=[self.all_probes[i] for i in keep],
+            method=method or self.method,
+            theta=self.theta,
+            seed=self.seed,
+        )
+        clone.all_probes = list(self.all_probes)
+        return clone
+
+    # -- training -------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        dataset: BranchDataset,
+        alpha: float = 0.1,
+        k: int = 5,
+        calib_fraction: float = 0.5,
+        mondrian: bool = True,
+        conformal_mode: str = "split",
+        method: str = PERMUTATION,
+        mlp_config: "MLPConfig | None" = None,
+        seed: int = 0,
+    ) -> "MultiLayerBPP":
+        """The full §3.2 pipeline: split, probe every layer, keep top-k.
+
+        ``dataset`` is split *by generation* into probe-training and
+        calibration halves; one sBPP per layer is trained and calibrated;
+        the k highest-AUC layers form the mBPP.
+        """
+        split_rng = spawn(seed, "bpp-split")
+        calib, train = dataset.split_by_group(calib_fraction, split_rng)
+        all_probes: list[SingleLayerBPP] = []
+        for layer in range(dataset.n_layers):
+            probe = SingleLayerBPP(
+                layer_index=layer,
+                alpha=alpha,
+                mondrian=mondrian,
+                conformal_mode=conformal_mode,
+                mlp_config=mlp_config,
+                seed=spawn(seed, "probe", layer).integers(2**31),
+            ).fit(train, calib)
+            all_probes.append(probe)
+        keep = rank_layers([p.auc for p in all_probes], min(k, len(all_probes)))
+        mbpp = cls(
+            sbpps=[all_probes[i] for i in keep],
+            method=method,
+            seed=seed,
+        )
+        mbpp.all_probes = all_probes  # retained for k/alpha sweeps
+        return mbpp
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def layers(self) -> list[int]:
+        return [p.layer_index for p in self.sbpps]
+
+    @property
+    def aucs(self) -> list[float]:
+        return [p.auc for p in self.sbpps]
+
+    @property
+    def mean_auc(self) -> float:
+        finite = [a for a in self.aucs if not np.isnan(a)]
+        return float(np.mean(finite)) if finite else float("nan")
+
+    # -- inference -----------------------------------------------------------
+
+    def prediction_sets(self, hidden_stack: np.ndarray) -> list[frozenset[int]]:
+        """Per-selected-layer conformal sets for one token."""
+        return [p.prediction_set(hidden_stack) for p in self.sbpps]
+
+    def aggregate(
+        self, sets: "list[frozenset[int]]", key: "tuple | str" = ""
+    ) -> frozenset[int]:
+        """Aggregate per-layer sets; ``key`` seeds the permutation."""
+        if self.method == MAJORITY:
+            return majority_vote(sets, theta=self.theta)
+        rng = spawn(self.seed, "perm", key)
+        return random_permutation(sets, rng)
+
+    def is_branching(
+        self, hidden_stack: np.ndarray, key: "tuple | str" = ""
+    ) -> bool:
+        """Declare the token a branching point iff 1 survives aggregation."""
+        return 1 in self.aggregate(self.prediction_sets(hidden_stack), key)
+
+    def predict_dataset(self, dataset: BranchDataset) -> np.ndarray:
+        """Vectorized branching decisions for every token in ``dataset``.
+
+        Uses the batched per-layer path (one MLP forward per layer) and
+        aggregates per token; keys are (group, running index) so results
+        match token-by-token calls.
+        """
+        per_layer_sets = [
+            probe.prediction_sets_batch(dataset.layer(probe.layer_index))
+            for probe in self.sbpps
+        ]
+        out = np.zeros(dataset.n_tokens, dtype=bool)
+        for i in range(dataset.n_tokens):
+            sets = [layer_sets[i] for layer_sets in per_layer_sets]
+            out[i] = 1 in self.aggregate(sets, key=("ds", int(dataset.groups[i]), i))
+        return out

@@ -1,0 +1,57 @@
+"""BPP evaluation metrics: coverage and extra abstention rate (§4.2).
+
+* Coverage — branching points correctly detected among all true branching
+  points.
+* EAR — tokens flagged as branching that are not, over all tokens
+  ("unnecessary abstention" pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linking.dataset import BranchDataset
+from repro.probes.mbpp import MultiLayerBPP
+
+__all__ = ["BPPEvaluation", "evaluate_bpp", "coverage_and_ear"]
+
+
+@dataclass(frozen=True)
+class BPPEvaluation:
+    """Coverage / EAR on a labelled token dataset."""
+
+    coverage: float
+    ear: float
+    n_tokens: int
+    n_branching: int
+
+    def as_row(self) -> tuple[float, float]:
+        return (100.0 * self.coverage, 100.0 * self.ear)
+
+
+def coverage_and_ear(labels: np.ndarray, predicted: np.ndarray) -> tuple[float, float]:
+    """Coverage and EAR from boolean label/prediction arrays."""
+    labels = np.asarray(labels, dtype=bool).ravel()
+    predicted = np.asarray(predicted, dtype=bool).ravel()
+    if labels.shape != predicted.shape:
+        raise ValueError("labels and predictions must align")
+    n_branch = int(labels.sum())
+    coverage = (
+        float((predicted & labels).sum() / n_branch) if n_branch else float("nan")
+    )
+    ear = float((predicted & ~labels).sum() / len(labels)) if len(labels) else float("nan")
+    return coverage, ear
+
+
+def evaluate_bpp(mbpp: MultiLayerBPP, dataset: BranchDataset) -> BPPEvaluation:
+    """Run the mBPP over every token of ``dataset`` and score it."""
+    predicted = mbpp.predict_dataset(dataset)
+    coverage, ear = coverage_and_ear(dataset.labels, predicted)
+    return BPPEvaluation(
+        coverage=coverage,
+        ear=ear,
+        n_tokens=dataset.n_tokens,
+        n_branching=int(dataset.labels.sum()),
+    )

@@ -1,0 +1,148 @@
+"""A two-layer perceptron binary classifier in pure numpy (§3.1).
+
+The paper probes each hidden layer with "a two-layer perceptron (MLP)
+classifier". No ML framework is available offline, so this implements the
+probe directly: standardized inputs, one tanh hidden layer, sigmoid
+output, Adam optimizer, class-weighted binary cross-entropy (branching
+points are a few percent of tokens — unweighted training would collapse
+to the majority class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MLPConfig", "MLPClassifier"]
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """Probe training hyper-parameters."""
+
+    hidden_units: int = 16
+    learning_rate: float = 8e-3
+    epochs: int = 80
+    batch_size: int = 256
+    l2: float = 1e-4
+    balance_classes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hidden_units < 1 or self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("hidden_units, epochs and batch_size must be >= 1")
+
+
+class MLPClassifier:
+    """Two-layer MLP with Adam; API: ``fit``, ``predict_proba``, ``score``."""
+
+    def __init__(self, config: "MLPConfig | None" = None, seed: int = 0):
+        self.config = config or MLPConfig()
+        self.seed = seed
+        self._params: "dict[str, np.ndarray] | None" = None
+        self._mean: "np.ndarray | None" = None
+        self._std: "np.ndarray | None" = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _forward(self, X: np.ndarray, params: dict) -> tuple[np.ndarray, np.ndarray]:
+        h = np.tanh(X @ params["W1"] + params["b1"])
+        logits = h @ params["W2"] + params["b2"]
+        return h, logits.ravel()
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    # -- API -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on features ``X`` (n, d) and boolean/0-1 labels ``y``."""
+        cfg = self.config
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be (n, d) aligned with y")
+        if len(X) < 2:
+            raise ValueError("need at least two training points")
+        rng = np.random.default_rng(self.seed)
+
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0) + 1e-8
+        Xs = (X - self._mean) / self._std
+
+        n, d = Xs.shape
+        h = cfg.hidden_units
+        params = {
+            "W1": rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, h)),
+            "b1": np.zeros(h),
+            "W2": rng.normal(0.0, 1.0 / np.sqrt(h), size=(h, 1)),
+            "b2": np.zeros(1),
+        }
+        if cfg.balance_classes:
+            n_pos = max(1.0, y.sum())
+            n_neg = max(1.0, (1.0 - y).sum())
+            w_pos, w_neg = n / (2.0 * n_pos), n / (2.0 * n_neg)
+        else:
+            w_pos = w_neg = 1.0
+        weights = np.where(y > 0.5, w_pos, w_neg)
+
+        m = {k: np.zeros_like(v) for k, v in params.items()}
+        v = {k: np.zeros_like(val) for k, val in params.items()}
+        beta1, beta2, eps_adam = 0.9, 0.999, 1e-8
+        t = 0
+        for _epoch in range(cfg.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                xb, yb, wb = Xs[idx], y[idx], weights[idx]
+                hidden, logits = self._forward(xb, params)
+                p = self._sigmoid(logits)
+                # Weighted BCE gradient: dL/dlogit = w * (p - y) / batch.
+                dlogit = (wb * (p - yb) / len(idx))[:, None]
+                grads = {
+                    "W2": hidden.T @ dlogit + cfg.l2 * params["W2"],
+                    "b2": dlogit.sum(axis=0),
+                }
+                dh = dlogit @ params["W2"].T * (1.0 - hidden**2)
+                grads["W1"] = xb.T @ dh + cfg.l2 * params["W1"]
+                grads["b1"] = dh.sum(axis=0)
+                t += 1
+                for key in params:
+                    g = grads[key]
+                    m[key] = beta1 * m[key] + (1 - beta1) * g
+                    v[key] = beta2 * v[key] + (1 - beta2) * g * g
+                    m_hat = m[key] / (1 - beta1**t)
+                    v_hat = v[key] / (1 - beta2**t)
+                    params[key] -= (
+                        cfg.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
+                    )
+        self._params = params
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw logits for the positive class."""
+        if self._params is None:
+            raise RuntimeError("call fit() before predicting")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        Xs = (X - self._mean) / self._std
+        _, logits = self._forward(Xs, self._params)
+        return logits[0] if single else logits
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """``(n, 2)`` class probabilities (or ``(2,)`` for one point)."""
+        logits = self.decision_function(X)
+        p1 = self._sigmoid(np.atleast_1d(logits))
+        out = np.stack([1.0 - p1, p1], axis=-1)
+        return out[0] if np.isscalar(logits) or logits.ndim == 0 else out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(self.predict_proba(X))[:, 1] >= 0.5).astype(int)

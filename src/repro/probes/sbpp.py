@@ -1,0 +1,105 @@
+"""Conformal Single-Layer Branching Point Predictor (sBPP, §3.2.2).
+
+One per hidden layer: an MLP probe trained on that layer's hidden states,
+wrapped in conformal calibration (split/Mondrian by default; the
+non-exchangeable KNN-weighted variant on request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.conformal.nonexchangeable import NonexchangeableConformalBinary
+from repro.conformal.split import SplitConformalBinary
+from repro.linking.dataset import BranchDataset
+from repro.probes.mlp import MLPClassifier, MLPConfig
+from repro.utils.stats import auc_score
+
+__all__ = ["SingleLayerBPP"]
+
+SPLIT = "split"
+NONEXCHANGEABLE = "nonexchangeable"
+
+
+class SingleLayerBPP:
+    """Probe + conformal wrapper for one hidden layer."""
+
+    def __init__(
+        self,
+        layer_index: int,
+        alpha: float = 0.1,
+        mondrian: bool = True,
+        conformal_mode: str = SPLIT,
+        mlp_config: "MLPConfig | None" = None,
+        seed: int = 0,
+    ):
+        if conformal_mode not in (SPLIT, NONEXCHANGEABLE):
+            raise ValueError(f"unknown conformal mode {conformal_mode!r}")
+        self.layer_index = layer_index
+        self.alpha = alpha
+        self.mondrian = mondrian
+        self.conformal_mode = conformal_mode
+        self.mlp = MLPClassifier(mlp_config, seed=seed)
+        self._conformal: "SplitConformalBinary | NonexchangeableConformalBinary | None" = None
+        self.auc: float = float("nan")
+
+    def fit(self, train: BranchDataset, calib: BranchDataset) -> "SingleLayerBPP":
+        """Train the probe on ``train``; calibrate and score on ``calib``."""
+        X_train = train.layer(self.layer_index)
+        self.mlp.fit(X_train, train.labels.astype(float))
+        X_calib = calib.layer(self.layer_index)
+        calib_probs = np.atleast_2d(self.mlp.predict_proba(X_calib))
+        self.auc = auc_score(calib.labels, calib_probs[:, 1])
+        # Kept so the conformal layer can be re-calibrated at a different
+        # error level without re-training the probe (the Figure 6 sweep).
+        self._calib_features = X_calib
+        self._calib_probs = calib_probs
+        self._calib_labels = calib.labels.astype(int)
+        self._calibrate()
+        return self
+
+    def _calibrate(self) -> None:
+        if self.conformal_mode == SPLIT:
+            self._conformal = SplitConformalBinary(
+                alpha=self.alpha, mondrian=self.mondrian
+            ).fit(self._calib_probs, self._calib_labels)
+        else:
+            self._conformal = NonexchangeableConformalBinary(alpha=self.alpha).fit(
+                self._calib_features, self._calib_probs, self._calib_labels
+            )
+
+    def with_alpha(self, alpha: float) -> "SingleLayerBPP":
+        """A copy of this probe re-calibrated at a different error level."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.alpha = alpha
+        clone._calibrate()
+        return clone
+
+    # -- inference -----------------------------------------------------------
+
+    def probs(self, hidden_stack: np.ndarray) -> np.ndarray:
+        """Class probabilities from a ``(n_layers, dim)`` hidden stack."""
+        return self.mlp.predict_proba(hidden_stack[self.layer_index])
+
+    def prediction_set(self, hidden_stack: np.ndarray) -> frozenset[int]:
+        """The conformal set for one token's hidden stack."""
+        if self._conformal is None:
+            raise RuntimeError("call fit() before predicting")
+        feature = hidden_stack[self.layer_index]
+        probs = self.mlp.predict_proba(feature)
+        if isinstance(self._conformal, SplitConformalBinary):
+            return self._conformal.prediction_set(probs)
+        return self._conformal.prediction_set(feature, probs)
+
+    def prediction_sets_batch(self, layer_features: np.ndarray) -> list[frozenset[int]]:
+        """Sets for a ``(n, dim)`` batch of this layer's features."""
+        if self._conformal is None:
+            raise RuntimeError("call fit() before predicting")
+        probs = np.atleast_2d(self.mlp.predict_proba(layer_features))
+        if isinstance(self._conformal, SplitConformalBinary):
+            return self._conformal.prediction_sets(probs)
+        return self._conformal.prediction_sets(layer_features, probs)

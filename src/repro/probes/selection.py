@@ -1,0 +1,27 @@
+"""Layer selection: keep the k best sBPPs by calibration AUC (§4.1,
+Implementation Details: "we select the k best performing sBPP classifiers
+to form the mBPP. To assess the quality of a sBPP we compute the AUC
+scores over the calibration dataset").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["rank_layers"]
+
+
+def rank_layers(aucs: "Sequence[float]", k: int) -> list[int]:
+    """Indices of the ``k`` layers with highest AUC (NaNs rank last).
+
+    Ties break toward deeper layers (later probes see more refined
+    representations), then by index for determinism.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    indexed = [
+        ((-1.0 if math.isnan(a) else a), i) for i, a in enumerate(aucs)
+    ]
+    indexed.sort(key=lambda pair: (-pair[0], -pair[1]))
+    return sorted(i for _a, i in indexed[:k])

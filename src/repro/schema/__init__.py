@@ -1,0 +1,28 @@
+"""Relational schema model: columns, tables, databases, DDL rendering.
+
+This subpackage is the substrate shared by the corpus generator (which
+synthesizes schemas), the SQLite engine (which materializes them), and the
+LLM simulator (whose constrained decoder is built from identifier
+vocabularies).
+"""
+
+from repro.schema.column import Column, ColumnType
+from repro.schema.table import ForeignKey, Table
+from repro.schema.database import Database
+from repro.schema.ddl import render_create_table, render_database_ddl, schema_prompt
+from repro.schema.naming import NamingStyle, rename_database
+from repro.schema.catalog import Catalog
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Table",
+    "Database",
+    "Catalog",
+    "NamingStyle",
+    "rename_database",
+    "render_create_table",
+    "render_database_ddl",
+    "schema_prompt",
+]

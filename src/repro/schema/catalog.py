@@ -1,0 +1,57 @@
+"""Catalog: a named collection of databases (one benchmark's schema set)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.database import Database
+
+__all__ = ["Catalog"]
+
+
+@dataclass
+class Catalog:
+    """An ordered, name-indexed collection of databases."""
+
+    name: str
+    databases: list[Database] = field(default_factory=list)
+
+    def add(self, db: Database) -> None:
+        if self.has(db.name):
+            raise ValueError(f"catalog {self.name!r} already has database {db.name!r}")
+        self.databases.append(db)
+
+    def has(self, name: str) -> bool:
+        return any(d.name.lower() == name.lower() for d in self.databases)
+
+    def get(self, name: str) -> Database:
+        for d in self.databases:
+            if d.name.lower() == name.lower():
+                return d
+        raise KeyError(f"no database {name!r} in catalog {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.databases)
+
+    def __iter__(self):
+        return iter(self.databases)
+
+    @property
+    def n_tables(self) -> int:
+        return sum(len(d.tables) for d in self.databases)
+
+    @property
+    def n_columns(self) -> int:
+        return sum(d.n_columns for d in self.databases)
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics used in dataset cards and tests."""
+        if not self.databases:
+            return {"databases": 0, "tables": 0, "columns": 0, "avg_tables": 0.0}
+        return {
+            "databases": len(self.databases),
+            "tables": self.n_tables,
+            "columns": self.n_columns,
+            "avg_tables": self.n_tables / len(self.databases),
+            "avg_columns_per_table": self.n_columns / max(1, self.n_tables),
+        }

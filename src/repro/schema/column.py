@@ -1,0 +1,93 @@
+"""Column model.
+
+A :class:`Column` records everything downstream consumers need: the
+physical name (possibly dirty/abbreviated), the clean semantic words it
+derives from, its type, and an optional natural-language description (BIRD
+provides these; they may be missing, which raises linking difficulty).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ColumnType", "Column"]
+
+
+class ColumnType(enum.Enum):
+    """SQL column types supported by the corpus generator and executor."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    DATE = "date"  # stored as ISO text in SQLite
+    BOOLEAN = "boolean"  # stored as 0/1 INTEGER in SQLite
+
+    @property
+    def sqlite_affinity(self) -> str:
+        """The type name used in rendered DDL."""
+        return {
+            ColumnType.INTEGER: "INTEGER",
+            ColumnType.REAL: "REAL",
+            ColumnType.TEXT: "TEXT",
+            ColumnType.DATE: "TEXT",
+            ColumnType.BOOLEAN: "INTEGER",
+        }[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.REAL, ColumnType.BOOLEAN)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a table.
+
+    Parameters
+    ----------
+    name:
+        Physical identifier as it appears in DDL (may be abbreviated).
+    ctype:
+        Column type.
+    semantic_words:
+        The clean, human words the column derives from (``["education",
+        "operations"]`` for a dirty name ``EdOps``). The question generator
+        phrases questions with these words; the gap between them and the
+        physical name is what makes dirty schemas hard to link.
+    description:
+        Optional natural-language description (BIRD metadata). ``None``
+        models the paper's Figure 1(b) failure: "the schema does not
+        provide enough information".
+    is_primary:
+        Whether the column is (part of) the primary key.
+    value_pool:
+        Name of the value pool used for data population.
+    """
+
+    name: str
+    ctype: ColumnType
+    semantic_words: tuple[str, ...] = ()
+    description: "str | None" = None
+    is_primary: bool = False
+    value_pool: str = "generic"
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+
+    @property
+    def surface(self) -> str:
+        """The phrase users would say for this column."""
+        return " ".join(self.semantic_words) if self.semantic_words else self.name
+
+    @property
+    def has_description(self) -> bool:
+        return bool(self.description)
+
+    def renamed(self, new_name: str) -> "Column":
+        """Copy with a different physical name (keeps semantics)."""
+        return replace(self, name=new_name)
+
+    def without_description(self) -> "Column":
+        return replace(self, description=None)

@@ -1,0 +1,159 @@
+"""Database model: a named collection of tables with FK integrity checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.schema.column import Column
+from repro.schema.table import ForeignKey, Table
+
+__all__ = ["Database"]
+
+
+@dataclass(frozen=True)
+class Database:
+    """A relational database schema.
+
+    Attributes
+    ----------
+    name:
+        Database identifier (e.g. ``formula_1``).
+    tables:
+        Ordered tables; order is the canonical generation order used by the
+        schema-linking LLM (gold token sequences list tables in this
+        order).
+    domain:
+        Name of the domain archetype the schema was generated from.
+    dirty:
+        Whether identifiers were dirtied (BIRD-style).
+    knowledge:
+        External-knowledge snippets attached to the database (BIRD
+        provides these per-sample; we attach them per-database and
+        reference them from questions).
+    """
+
+    name: str
+    tables: tuple[Table, ...]
+    domain: str = ""
+    dirty: bool = False
+    knowledge: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.tables]
+        if len(set(n.lower() for n in names)) != len(names):
+            raise ValueError(f"duplicate table names in database {self.name!r}")
+        by_name = {t.name.lower(): t for t in self.tables}
+        for table in self.tables:
+            for fk in table.foreign_keys:
+                ref = by_name.get(fk.ref_table.lower())
+                if ref is None:
+                    raise ValueError(
+                        f"{table.name}.{fk.column} references missing table "
+                        f"{fk.ref_table!r}"
+                    )
+                if not ref.has_column(fk.ref_column):
+                    raise ValueError(
+                        f"{table.name}.{fk.column} references missing column "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    )
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tables)
+
+    def table(self, name: str) -> Table:
+        for t in self.tables:
+            if t.name.lower() == name.lower():
+                return t
+        raise KeyError(f"no table {name!r} in database {self.name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return any(t.name.lower() == name.lower() for t in self.tables)
+
+    def column(self, table_name: str, column_name: str) -> Column:
+        return self.table(table_name).column(column_name)
+
+    @property
+    def n_columns(self) -> int:
+        return sum(len(t.columns) for t in self.tables)
+
+    def qualified_columns(self) -> list[tuple[str, str]]:
+        """All (table, column) name pairs in canonical order."""
+        return [(t.name, c.name) for t in self.tables for c in t.columns]
+
+    # -- joins -----------------------------------------------------------
+
+    def join_condition(self, left: str, right: str) -> "tuple[str, str, str, str] | None":
+        """Find an FK join path between two tables.
+
+        Returns ``(left_table, left_col, right_table, right_col)`` for the
+        first FK connecting them (either direction), or ``None``.
+        """
+        lt, rt = self.table(left), self.table(right)
+        for fk in lt.foreign_keys:
+            if fk.ref_table.lower() == rt.name.lower():
+                return (lt.name, fk.column, rt.name, fk.ref_column)
+        for fk in rt.foreign_keys:
+            if fk.ref_table.lower() == lt.name.lower():
+                return (rt.name, fk.column, lt.name, fk.ref_column)
+        return None
+
+    def neighbors(self, table_name: str) -> list[str]:
+        """Tables connected to ``table_name`` by a foreign key."""
+        out: list[str] = []
+        t = self.table(table_name)
+        for fk in t.foreign_keys:
+            out.append(self.table(fk.ref_table).name)
+        for other in self.tables:
+            if other.name == t.name:
+                continue
+            for fk in other.foreign_keys:
+                if fk.ref_table.lower() == t.name.lower():
+                    out.append(other.name)
+        # stable de-dup
+        seen: set[str] = set()
+        uniq = []
+        for n in out:
+            if n.lower() not in seen:
+                seen.add(n.lower())
+                uniq.append(n)
+        return uniq
+
+    # -- projections -----------------------------------------------------
+
+    def subset(
+        self,
+        table_names: "list[str] | set[str]",
+        columns: "dict[str, list[str]] | None" = None,
+    ) -> "Database":
+        """A new database containing only the given tables (and columns).
+
+        Used to build the schema handed to the downstream SQL generator:
+        golden schema = subset(gold tables, gold columns); RTS schema =
+        subset(linked tables, linked columns). Foreign keys referencing
+        dropped tables/columns are removed.
+        """
+        keep = {n.lower() for n in table_names}
+        new_tables: list[Table] = []
+        for t in self.tables:
+            if t.name.lower() not in keep:
+                continue
+            cols = t.columns
+            if columns is not None and t.name in columns:
+                wanted = {c.lower() for c in columns[t.name]}
+                # Always keep primary keys so the table stays joinable.
+                cols = tuple(
+                    c for c in t.columns if c.name.lower() in wanted or c.is_primary
+                )
+                if not cols:
+                    cols = t.columns[:1]
+            col_names = {c.name for c in cols}
+            fks = tuple(
+                fk
+                for fk in t.foreign_keys
+                if fk.ref_table.lower() in keep and fk.column in col_names
+            )
+            new_tables.append(replace(t, columns=cols, foreign_keys=fks))
+        return replace(self, tables=tuple(new_tables))

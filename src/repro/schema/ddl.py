@@ -1,0 +1,101 @@
+"""DDL rendering: CREATE TABLE statements and prompt-style schema text.
+
+Two renderings are provided:
+
+* :func:`render_database_ddl` — executable SQLite DDL, used by the
+  materializer.
+* :func:`schema_prompt` — the DDL-with-comments serialization that the
+  schema-linking LLM and the surrogate model consume (the paper's user
+  study notes questions "present the schema in a DDL format").
+"""
+
+from __future__ import annotations
+
+from repro.schema.database import Database
+from repro.schema.table import Table
+
+__all__ = ["render_create_table", "render_database_ddl", "schema_prompt"]
+
+
+def _quote(name: str) -> str:
+    """Quote an identifier when needed (dirty names may clash with keywords)."""
+    if name.isidentifier() and name.lower() not in _SQLITE_KEYWORDS:
+        return name
+    return f'"{name}"'
+
+
+_SQLITE_KEYWORDS = {
+    "table",
+    "select",
+    "from",
+    "where",
+    "group",
+    "order",
+    "index",
+    "values",
+    "primary",
+    "key",
+    "references",
+    "join",
+    "on",
+    "as",
+    "and",
+    "or",
+    "not",
+    "limit",
+    "offset",
+    "check",
+    "default",
+}
+
+
+def render_create_table(table: Table) -> str:
+    """Render one executable CREATE TABLE statement."""
+    lines = []
+    for col in table.columns:
+        lines.append(f"  {_quote(col.name)} {col.ctype.sqlite_affinity}")
+    pk = table.primary_key
+    if pk:
+        lines.append(f"  PRIMARY KEY ({', '.join(_quote(c) for c in pk)})")
+    for fk in table.foreign_keys:
+        lines.append(
+            f"  FOREIGN KEY ({_quote(fk.column)}) REFERENCES "
+            f"{_quote(fk.ref_table)}({_quote(fk.ref_column)})"
+        )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {_quote(table.name)} (\n{body}\n);"
+
+
+def render_database_ddl(db: Database) -> str:
+    """Render the full executable DDL for a database."""
+    return "\n\n".join(render_create_table(t) for t in db.tables)
+
+
+def schema_prompt(db: Database, include_descriptions: bool = True) -> str:
+    """Render the schema as the LLM prompt serialization.
+
+    DDL-like, with ``--`` comments carrying column descriptions where
+    available. Missing descriptions are simply absent — exactly the
+    failure mode of Figure 1(b).
+    """
+    blocks: list[str] = [f"-- Database: {db.name}"]
+    for table in db.tables:
+        lines = [f"CREATE TABLE {table.name} ("]
+        for col in table.columns:
+            comment = ""
+            if include_descriptions and col.description:
+                comment = f"  -- {col.description}"
+            lines.append(f"  {col.name} {col.ctype.sqlite_affinity},{comment}")
+        pk = table.primary_key
+        if pk:
+            lines.append(f"  PRIMARY KEY ({', '.join(pk)})")
+        for fk in table.foreign_keys:
+            lines.append(
+                f"  FOREIGN KEY ({fk.column}) REFERENCES {fk.ref_table}({fk.ref_column})"
+            )
+        lines.append(");")
+        blocks.append("\n".join(lines))
+    if include_descriptions and db.knowledge:
+        blocks.append("-- External knowledge:")
+        blocks.extend(f"--   {k}" for k in db.knowledge)
+    return "\n\n".join(blocks)

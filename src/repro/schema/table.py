@@ -1,0 +1,80 @@
+"""Table and foreign-key models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.schema.column import Column
+
+__all__ = ["ForeignKey", "Table"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key edge ``table.column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A table: named columns plus outgoing foreign keys.
+
+    ``semantic_words`` mirrors :class:`Column.semantic_words`: the clean
+    phrase for the entity the table stores, independent of the (possibly
+    dirty) physical name.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    semantic_words: tuple[str, ...] = ()
+    description: "str | None" = None
+    foreign_keys: tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table name must be non-empty")
+        if not self.columns:
+            raise ValueError(f"table {self.name!r} must have at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {self.name!r}: {names}")
+        for fk in self.foreign_keys:
+            if fk.column not in set(names):
+                raise ValueError(
+                    f"foreign key column {fk.column!r} not in table {self.name!r}"
+                )
+
+    @property
+    def surface(self) -> str:
+        """The phrase users would say for this table."""
+        return " ".join(self.semantic_words) if self.semantic_words else self.name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def primary_key(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns if c.is_primary)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        for col in self.columns:
+            if col.name.lower() == name.lower():
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name.lower() == name.lower() for c in self.columns)
+
+    def with_columns(self, columns: tuple[Column, ...]) -> "Table":
+        return replace(self, columns=columns)
+
+    def renamed(self, new_name: str) -> "Table":
+        return replace(self, name=new_name)

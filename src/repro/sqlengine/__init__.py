@@ -1,0 +1,19 @@
+"""SQLite execution substrate.
+
+Materializes generated databases into real SQLite, executes gold and
+predicted SQL, and compares result sets — execution accuracy (EX) is
+*measured*, never simulated.
+"""
+
+from repro.sqlengine.materialize import materialize
+from repro.sqlengine.executor import ExecutionResult, Executor
+from repro.sqlengine.comparator import results_match
+from repro.sqlengine.accuracy import ExecutionEvaluator
+
+__all__ = [
+    "materialize",
+    "ExecutionResult",
+    "Executor",
+    "results_match",
+    "ExecutionEvaluator",
+]

@@ -1,0 +1,85 @@
+"""Execution accuracy (EX) evaluation harness.
+
+EX is the paper's downstream metric (§4.2, "Evaluating Text-to-SQL"):
+the fraction of examples whose predicted SQL, executed on the database,
+returns the same results as the gold SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.dataset import Example
+from repro.corpus.generator import PopulatedDatabase
+from repro.sqlengine.comparator import results_match
+from repro.sqlengine.executor import Executor
+
+__all__ = ["ExampleOutcome", "ExecutionReport", "ExecutionEvaluator"]
+
+
+@dataclass(frozen=True)
+class ExampleOutcome:
+    """Per-example execution comparison outcome."""
+
+    example_id: str
+    correct: bool
+    predicted_sql: str
+    gold_sql: str
+    predicted_error: "str | None" = None
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate EX over a split."""
+
+    outcomes: list[ExampleOutcome] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_correct(self) -> int:
+        return sum(1 for o in self.outcomes if o.correct)
+
+    @property
+    def execution_accuracy(self) -> float:
+        """EX in percent, matching the paper's tables."""
+        if not self.outcomes:
+            return float("nan")
+        return 100.0 * self.n_correct / self.n
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for o in self.outcomes if o.predicted_error is not None)
+
+
+class ExecutionEvaluator:
+    """Evaluates predicted SQL strings against gold queries by execution."""
+
+    def __init__(self, databases: dict[str, PopulatedDatabase]):
+        self._executor = Executor(databases)
+
+    def evaluate_one(self, example: Example, predicted_sql: str) -> ExampleOutcome:
+        gold = self._executor.execute(example.db_id, example.gold_sql)
+        pred = self._executor.execute(example.db_id, predicted_sql)
+        ok = results_match(gold, pred, ordered=example.query.has_order)
+        return ExampleOutcome(
+            example_id=example.example_id,
+            correct=ok,
+            predicted_sql=predicted_sql,
+            gold_sql=example.gold_sql,
+            predicted_error=pred.error,
+        )
+
+    def evaluate(
+        self, pairs: "list[tuple[Example, str]]"
+    ) -> ExecutionReport:
+        """Evaluate many (example, predicted SQL) pairs."""
+        report = ExecutionReport()
+        for example, sql in pairs:
+            report.outcomes.append(self.evaluate_one(example, sql))
+        return report
+
+    def close(self) -> None:
+        self._executor.close()

@@ -1,0 +1,68 @@
+"""Result-set comparison implementing the execution-accuracy convention.
+
+Following the Spider/BIRD evaluation protocol: two results match when they
+contain the same multiset of rows; row order matters only when the gold
+query carries an ORDER BY. Floats are compared with a small tolerance
+(SQLite AVG of INTEGERs yields floats).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sqlengine.executor import ExecutionResult
+
+__all__ = ["results_match", "normalize_row"]
+
+_FLOAT_TOL = 1e-6
+
+
+def normalize_row(row: tuple) -> tuple:
+    """Normalize a row for comparison: round floats, unify int/float."""
+    out = []
+    for v in row:
+        if isinstance(v, bool):
+            out.append(int(v))
+        elif isinstance(v, float):
+            if v == int(v):
+                out.append(int(v))
+            else:
+                out.append(round(v, 6))
+        else:
+            out.append(v)
+    return tuple(out)
+
+
+def _rows_equal(a: tuple, b: tuple) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, float) or isinstance(y, float):
+            try:
+                if abs(float(x) - float(y)) > _FLOAT_TOL:
+                    return False
+            except (TypeError, ValueError):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def results_match(
+    gold: ExecutionResult, predicted: ExecutionResult, ordered: bool
+) -> bool:
+    """Whether a predicted result matches the gold result.
+
+    A failed gold execution never matches (the benchmark guarantees gold
+    queries execute; treating it as non-match keeps the metric sound if a
+    caller feeds a malformed gold query).
+    """
+    if not gold.ok or not predicted.ok:
+        return False
+    gold_rows = [normalize_row(r) for r in gold.rows]
+    pred_rows = [normalize_row(r) for r in predicted.rows]
+    if len(gold_rows) != len(pred_rows):
+        return False
+    if ordered:
+        return all(_rows_equal(g, p) for g, p in zip(gold_rows, pred_rows))
+    return Counter(gold_rows) == Counter(pred_rows)

@@ -1,0 +1,63 @@
+"""Safe SQL execution with error capture and per-database connection cache."""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from repro.corpus.generator import PopulatedDatabase
+from repro.sqlengine.materialize import materialize
+
+__all__ = ["ExecutionResult", "Executor"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one SQL statement."""
+
+    ok: bool
+    rows: tuple[tuple, ...] = ()
+    error: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.ok and self.error is not None:
+            raise ValueError("successful results carry no error")
+
+
+class Executor:
+    """Executes queries against materialized benchmark databases.
+
+    Connections are created lazily and cached per database, so evaluating
+    a whole dev split touches each schema's DDL once.
+    """
+
+    def __init__(self, databases: dict[str, PopulatedDatabase]):
+        self._databases = databases
+        self._connections: dict[str, sqlite3.Connection] = {}
+
+    def connection(self, db_id: str) -> sqlite3.Connection:
+        if db_id not in self._connections:
+            if db_id not in self._databases:
+                raise KeyError(f"unknown database {db_id!r}")
+            self._connections[db_id] = materialize(self._databases[db_id])
+        return self._connections[db_id]
+
+    def execute(self, db_id: str, sql: str) -> ExecutionResult:
+        """Run ``sql`` read-only; capture any error as a failed result."""
+        try:
+            cursor = self.connection(db_id).execute(sql)
+            rows = tuple(tuple(r) for r in cursor.fetchall())
+            return ExecutionResult(ok=True, rows=rows)
+        except sqlite3.Error as exc:
+            return ExecutionResult(ok=False, error=str(exc))
+
+    def close(self) -> None:
+        for conn in self._connections.values():
+            conn.close()
+        self._connections.clear()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

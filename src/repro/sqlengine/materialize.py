@@ -1,0 +1,34 @@
+"""Materialize a populated database into a live SQLite connection."""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.corpus.generator import PopulatedDatabase
+from repro.schema.ddl import render_create_table
+
+__all__ = ["materialize"]
+
+
+def materialize(pdb: PopulatedDatabase) -> sqlite3.Connection:
+    """Create an in-memory SQLite database with schema and rows.
+
+    Foreign keys are declared but not enforced during load (generated rows
+    are FK-consistent by construction except for rare NULL placeholders,
+    which SQLite's FK checker would also accept).
+    """
+    conn = sqlite3.connect(":memory:")
+    conn.execute("PRAGMA foreign_keys = OFF")
+    for table in pdb.schema.tables:
+        conn.execute(render_create_table(table))
+        rows = pdb.rows.get(table.name, [])
+        if not rows:
+            continue
+        width = len(table.columns)
+        placeholders = ", ".join(["?"] * width)
+        quoted = ", ".join(f'"{c.name}"' for c in table.columns)
+        conn.executemany(
+            f'INSERT INTO "{table.name}" ({quoted}) VALUES ({placeholders})', rows
+        )
+    conn.commit()
+    return conn

@@ -1,0 +1,27 @@
+"""Downstream text-to-SQL generation (§4, Tables 1 and 7).
+
+Simulated fine-tuned SQL generators (Deepseek-7B, CodeS-15B, and the
+CHESS pipeline of Table 1) whose success probability depends on the
+*quality of the provided schema* — missing gold tables/columns make a
+correct query impossible; distractor columns cost accuracy — and whose
+failures are realistic AST-level corruptions executed against real
+SQLite. Execution accuracy is measured, never asserted.
+"""
+
+from repro.sqlgen.profiles import CHESS, CODES_15B, DEEPSEEK_7B, ModelProfile
+from repro.sqlgen.corruption import corrupt_query
+from repro.sqlgen.generator import SqlGenerator
+from repro.sqlgen.evaluate import SchemaProvider, evaluate_text2sql, full_schema, golden_schema
+
+__all__ = [
+    "ModelProfile",
+    "DEEPSEEK_7B",
+    "CODES_15B",
+    "CHESS",
+    "corrupt_query",
+    "SqlGenerator",
+    "SchemaProvider",
+    "evaluate_text2sql",
+    "golden_schema",
+    "full_schema",
+]

@@ -1,0 +1,152 @@
+"""Realistic AST-level corruptions of SQL queries.
+
+When the simulated generator fails, it does not emit garbage — it emits a
+*plausible wrong query*: a neighbouring column, a perturbed literal, the
+wrong aggregate, a dropped predicate, a reversed sort. The corrupted
+query is then actually executed; execution accuracy emerges from result
+comparison (occasionally a corruption is semantically harmless and still
+matches — exactly the noise real EX evaluation has).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.corpus.sqlast import (
+    ColumnRef,
+    Condition,
+    OrderTerm,
+    SelectItem,
+    SelectQuery,
+    Subquery,
+)
+from repro.schema.database import Database
+
+__all__ = ["corrupt_query"]
+
+_AGG_SWAP = {"AVG": "SUM", "SUM": "AVG", "MAX": "MIN", "MIN": "MAX", "COUNT": "SUM"}
+
+
+def _compatible_columns(db: Database, ref: ColumnRef) -> list[ColumnRef]:
+    """Same-table columns with the same broad type (numeric vs text)."""
+    try:
+        table = db.table(ref.table)
+        original = table.column(ref.column)
+    except KeyError:
+        return []
+    out = []
+    for col in table.columns:
+        if col.name.lower() == ref.column.lower():
+            continue
+        if col.ctype.is_numeric == original.ctype.is_numeric:
+            out.append(ColumnRef(table.name, col.name))
+    return out
+
+
+def _swap_column(query: SelectQuery, db: Database, rng: np.random.Generator) -> "SelectQuery | None":
+    # Sorted before shuffling: set iteration order is hash-seed dependent
+    # and corruption must be a pure function of (query, schema, rng).
+    refs = sorted({(r.table, r.column) for r in query.iter_column_refs()})
+    rng.shuffle(refs)
+    for table, column in refs:
+        ref = ColumnRef(table, column)
+        options = _compatible_columns(db, ref)
+        if options:
+            pick = options[int(rng.integers(0, len(options)))]
+            return query.replace_column(ref, pick)
+    return None
+
+
+def _perturb_literal(query: SelectQuery, rng: np.random.Generator) -> "SelectQuery | None":
+    for i, cond in enumerate(query.where):
+        if isinstance(cond.value, Subquery):
+            continue
+        if isinstance(cond.value, (int, float)) and not isinstance(cond.value, bool):
+            delta = max(1, abs(cond.value) * 0.25)
+            new_value = type(cond.value)(cond.value + delta * (1 if rng.random() < 0.5 else -1))
+            new_where = list(query.where)
+            new_where[i] = replace(cond, value=new_value)
+            return replace(query, where=tuple(new_where))
+        if isinstance(cond.value, str):
+            new_where = list(query.where)
+            new_where[i] = replace(cond, value=cond.value + "s")
+            return replace(query, where=tuple(new_where))
+    return None
+
+
+def _swap_aggregate(query: SelectQuery, rng: np.random.Generator) -> "SelectQuery | None":
+    for i, item in enumerate(query.select):
+        if item.agg and item.agg in _AGG_SWAP and item.col is not None:
+            new_select = list(query.select)
+            new_select[i] = replace(item, agg=_AGG_SWAP[item.agg])
+            return replace(query, select=tuple(new_select))
+    return None
+
+
+def _drop_condition(query: SelectQuery, rng: np.random.Generator) -> "SelectQuery | None":
+    if len(query.where) >= 1:
+        keep = list(query.where)
+        keep.pop(int(rng.integers(0, len(keep))))
+        return replace(query, where=tuple(keep))
+    return None
+
+
+def _flip_order(query: SelectQuery, rng: np.random.Generator) -> "SelectQuery | None":
+    if not query.order_by:
+        return None
+    term = query.order_by[0]
+    flipped = replace(
+        term, direction="ASC" if term.direction == "DESC" else "DESC"
+    )
+    return replace(query, order_by=(flipped,) + query.order_by[1:])
+
+
+def _fallback_query(db: Database, rng: np.random.Generator) -> SelectQuery:
+    """A syntactically valid but wrong query over whatever schema exists."""
+    table = db.tables[int(rng.integers(0, len(db.tables)))]
+    col = table.columns[int(rng.integers(0, len(table.columns)))]
+    return SelectQuery(
+        select=(SelectItem(col=ColumnRef(table.name, col.name)),),
+        tables=(table.name,),
+    )
+
+
+def corrupt_query(
+    query: SelectQuery, provided: Database, rng: np.random.Generator
+) -> SelectQuery:
+    """Produce a plausible wrong variant of ``query`` over ``provided``.
+
+    Tries corruption operators in a random order; if the gold query
+    cannot even be expressed over the provided schema (missing tables or
+    columns), falls back to a query over what is available — the honest
+    behaviour of a model handed an inadequate schema.
+    """
+    provided_tables = {t.name.lower() for t in provided.tables}
+    expressible = all(t.lower() in provided_tables for t in query.tables_used())
+    if expressible:
+        for t, cols in query.columns_used().items():
+            table = provided.table(t)
+            if not all(table.has_column(c) for c in cols):
+                expressible = False
+                break
+    if not expressible:
+        return _fallback_query(provided, rng)
+
+    operators = [
+        _swap_column,
+        _perturb_literal,
+        _swap_aggregate,
+        _drop_condition,
+        _flip_order,
+    ]
+    order = rng.permutation(len(operators))
+    for idx in order:
+        op = operators[int(idx)]
+        corrupted = (
+            op(query, provided, rng) if op is _swap_column else op(query, rng)
+        )
+        if corrupted is not None and corrupted != query:
+            return corrupted
+    return _fallback_query(provided, rng)

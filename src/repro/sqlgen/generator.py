@@ -1,0 +1,70 @@
+"""The simulated text-to-SQL generator."""
+
+from __future__ import annotations
+
+from repro.corpus.dataset import Example
+from repro.schema.database import Database
+from repro.sqlgen.corruption import corrupt_query
+from repro.sqlgen.profiles import ModelProfile
+from repro.utils.rng import spawn
+
+__all__ = ["SqlGenerator"]
+
+
+class SqlGenerator:
+    """Generates SQL for an example given a (possibly pruned) schema.
+
+    The generator emits the gold query when (a) every gold table and
+    column is present in the provided schema and (b) the profile's
+    calibrated capacity draw succeeds; otherwise it emits a realistic
+    corruption (see :mod:`repro.sqlgen.corruption`). All draws are
+    deterministic per (seed, example).
+    """
+
+    def __init__(self, profile: ModelProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+
+    # -- schema adequacy ---------------------------------------------------
+
+    @staticmethod
+    def schema_covers_gold(example: Example, provided: Database) -> bool:
+        """Whether the provided schema contains every gold table/column."""
+        provided_tables = {t.name.lower() for t in provided.tables}
+        for t in example.gold_tables:
+            if t.lower() not in provided_tables:
+                return False
+        for t, cols in example.gold_columns.items():
+            table = provided.table(t)
+            for c in cols:
+                if not table.has_column(c):
+                    return False
+        return True
+
+    @staticmethod
+    def extra_columns(example: Example, provided: Database) -> int:
+        """Distractor columns: provided columns that are not gold."""
+        gold = {
+            (t.lower(), c.lower())
+            for t, cols in example.gold_columns.items()
+            for c in cols
+        }
+        total = sum(len(t.columns) for t in provided.tables)
+        return max(0, total - len(gold))
+
+    # -- generation ---------------------------------------------------------
+
+    def success_probability(self, example: Example, provided: Database) -> float:
+        if not self.schema_covers_gold(example, provided):
+            return 0.0
+        return self.profile.success_probability(
+            example, self.extra_columns(example, provided)
+        )
+
+    def generate(self, example: Example, provided: Database) -> str:
+        """SQL text for ``example`` written against ``provided``."""
+        rng = spawn(self.seed, "sqlgen", self.profile.name, example.example_id)
+        p = self.success_probability(example, provided)
+        if rng.random() < p:
+            return example.gold_sql
+        return corrupt_query(example.query, provided, rng).render()

@@ -1,0 +1,40 @@
+"""Shared utilities: seeded RNG management, text/identifier handling,
+statistics primitives, ASCII table rendering and JSON serialization.
+
+These modules are dependency-free (numpy only) and used by every other
+subpackage.
+"""
+
+from repro.utils.rng import RngFactory, spawn, as_generator
+from repro.utils.stats import (
+    auc_score,
+    conformal_quantile,
+    bootstrap_ci,
+    binomial_ci,
+    histogram,
+)
+from repro.utils.tabulate import render_table
+from repro.utils.text import (
+    split_identifier,
+    to_snake_case,
+    to_camel_case,
+    abbreviate,
+    normalize_ws,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn",
+    "as_generator",
+    "auc_score",
+    "conformal_quantile",
+    "bootstrap_ci",
+    "binomial_ci",
+    "histogram",
+    "render_table",
+    "split_identifier",
+    "to_snake_case",
+    "to_camel_case",
+    "abbreviate",
+    "normalize_ws",
+]

@@ -1,0 +1,50 @@
+"""JSON serialization helpers for experiment artifacts.
+
+Experiment results are plain dataclass trees; these helpers convert them
+to/from JSON for caching and for writing EXPERIMENTS.md evidence files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / numpy scalars / arrays to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def dump_json(obj: Any, path: "str | Path") -> None:
+    """Write ``obj`` (converted via :func:`to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=2, sort_keys=True))
+
+
+def load_json(path: "str | Path") -> Any:
+    """Read JSON from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,148 @@
+"""Statistics primitives used across the library.
+
+Implemented from first principles on numpy (no sklearn available) and kept
+small enough to property-test exhaustively: ROC AUC, the conformal
+quantile, bootstrap and binomial confidence intervals, and a simple
+histogram helper for the figure harnesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "auc_score",
+    "conformal_quantile",
+    "bootstrap_ci",
+    "binomial_ci",
+    "histogram",
+    "HistogramResult",
+]
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-statistic (Mann-Whitney) form.
+
+    Ties in ``scores`` receive mid-ranks, matching the standard definition.
+    Returns ``nan`` when either class is absent (AUC is undefined).
+
+    >>> auc_score(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9]))
+    1.0
+    """
+    labels = np.asarray(labels).astype(bool).ravel()
+    scores = np.asarray(scores, dtype=float).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=float)
+    sorted_scores = scores[order]
+    # Mid-rank assignment for tied groups.
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = ranks[labels].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def conformal_quantile(scores: np.ndarray, alpha: float) -> float:
+    """The split-conformal threshold for error level ``alpha``.
+
+    Returns the ``ceil((n + 1) * (1 - alpha)) / n`` empirical quantile of
+    ``scores`` — the finite-sample-corrected quantile from the conformal
+    prediction literature (and §3.2.2 of the paper). When the corrected
+    level exceeds 1 (tiny calibration sets / tiny alpha) the threshold is
+    ``+inf``: the prediction set must include everything to honour the
+    guarantee.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    n = scores.size
+    if n == 0:
+        return float("inf")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    k = math.ceil((n + 1) * (1.0 - alpha))  # k-th smallest order statistic
+    if k > n:
+        return float("inf")
+    return float(np.sort(scores)[k - 1])
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    n_boot: int = 1000,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean of ``values``."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        return (float("nan"), float("nan"))
+    idx = rng.integers(0, values.size, size=(n_boot, values.size))
+    means = values[idx].mean(axis=1)
+    lo = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, lo)), float(np.quantile(means, 1.0 - lo)))
+
+
+def binomial_ci(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        return (float("nan"), float("nan"))
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    """Bin edges, counts and normalized densities of a histogram."""
+
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def fractions(self) -> tuple[float, ...]:
+        total = sum(self.counts)
+        if total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(c / total for c in self.counts)
+
+    def as_rows(self) -> list[tuple[str, int, float]]:
+        """Rows of (bin label, count, fraction) for table rendering."""
+        rows = []
+        for i, count in enumerate(self.counts):
+            label = f"[{self.edges[i]:.3g}, {self.edges[i + 1]:.3g})"
+            rows.append((label, count, self.fractions[i]))
+        return rows
+
+
+def histogram(
+    values: np.ndarray, bins: int = 10, lo: "float | None" = None, hi: "float | None" = None
+) -> HistogramResult:
+    """Histogram ``values`` into equal-width bins on [lo, hi]."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        edges = np.linspace(lo or 0.0, hi or 1.0, bins + 1)
+        return HistogramResult(tuple(edges), tuple(0 for _ in range(bins)))
+    lo = float(values.min()) if lo is None else lo
+    hi = float(values.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+    return HistogramResult(tuple(float(e) for e in edges), tuple(int(c) for c in counts))

@@ -1,0 +1,53 @@
+"""Minimal ASCII table rendering for experiment harness output.
+
+The experiment runners print rows in the same layout as the paper's
+tables; this module owns the formatting so output is uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, float_fmt: str = "{:.2f}") -> str:
+    """Render a cell: floats via ``float_fmt``, others via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: "str | None" = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    str_rows = [[format_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 3 * (len(widths) - 1)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(line.rstrip() for line in lines)

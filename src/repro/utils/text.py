@@ -1,0 +1,140 @@
+"""Identifier and text manipulation helpers.
+
+Schema linking hinges on the *surface form* of identifiers: a clean corpus
+uses ``lap_times`` style names while a dirty (BIRD-like) corpus uses
+abbreviations such as ``EdOps`` or ``T_BIL``. These helpers implement the
+splitting/joining/abbreviation conventions shared by the corpus generator
+and the LLM tokenizer.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "split_identifier",
+    "to_snake_case",
+    "to_camel_case",
+    "to_pascal_case",
+    "abbreviate",
+    "normalize_ws",
+    "words_of",
+]
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM = re.compile(r"[^0-9A-Za-z]+")
+_WS = re.compile(r"\s+")
+
+# English words whose conventional abbreviation is well established;
+# used by the dirty-naming generator so BIRD-style names look plausible.
+_CANONICAL_ABBREV = {
+    "number": "num",
+    "identifier": "id",
+    "average": "avg",
+    "maximum": "max",
+    "minimum": "min",
+    "description": "desc",
+    "department": "dept",
+    "quantity": "qty",
+    "amount": "amt",
+    "account": "acct",
+    "address": "addr",
+    "reference": "ref",
+    "transaction": "txn",
+    "temperature": "temp",
+    "percentage": "pct",
+    "category": "cat",
+    "education": "ed",
+    "operations": "ops",
+    "type": "type",
+    "level": "lvl",
+    "total": "tot",
+    "bilirubin": "bil",
+    "measurement": "meas",
+}
+
+
+def split_identifier(name: str) -> list[str]:
+    """Split an identifier into lowercase word parts.
+
+    Handles snake_case, camelCase, PascalCase, kebab-case and mixed forms.
+
+    >>> split_identifier("lapTimes")
+    ['lap', 'times']
+    >>> split_identifier("T_BIL")
+    ['t', 'bil']
+    >>> split_identifier("raceId")
+    ['race', 'id']
+    """
+    if not name:
+        return []
+    pieces = [p for p in _NON_ALNUM.split(name) if p]
+    words: list[str] = []
+    for piece in pieces:
+        for word in _CAMEL_BOUNDARY.split(piece):
+            if word:
+                words.append(word.lower())
+    return words
+
+
+def words_of(text: str) -> list[str]:
+    """Lowercased word tokens of free text (questions, descriptions)."""
+    return [w for w in _NON_ALNUM.split(text.lower()) if w]
+
+
+def to_snake_case(words: "list[str] | str") -> str:
+    """Join word parts as snake_case.
+
+    >>> to_snake_case(["lap", "times"])
+    'lap_times'
+    """
+    if isinstance(words, str):
+        words = split_identifier(words)
+    return "_".join(w.lower() for w in words)
+
+
+def to_camel_case(words: "list[str] | str") -> str:
+    """Join word parts as camelCase.
+
+    >>> to_camel_case(["lap", "times"])
+    'lapTimes'
+    """
+    if isinstance(words, str):
+        words = split_identifier(words)
+    if not words:
+        return ""
+    head, *rest = words
+    return head.lower() + "".join(w.capitalize() for w in rest)
+
+
+def to_pascal_case(words: "list[str] | str") -> str:
+    """Join word parts as PascalCase."""
+    if isinstance(words, str):
+        words = split_identifier(words)
+    return "".join(w.capitalize() for w in words)
+
+
+def abbreviate(word: str, keep: int = 3) -> str:
+    """Abbreviate a word the way real-world dirty schemas do.
+
+    Prefers the canonical abbreviation (``number`` -> ``num``); otherwise
+    strips vowels after the first letter and truncates.
+
+    >>> abbreviate("education")
+    'ed'
+    >>> abbreviate("grade")
+    'grd'
+    """
+    lower = word.lower()
+    if lower in _CANONICAL_ABBREV:
+        return _CANONICAL_ABBREV[lower]
+    if len(lower) <= keep:
+        return lower
+    head, tail = lower[0], lower[1:]
+    consonants = "".join(ch for ch in tail if ch not in "aeiou")
+    return (head + consonants)[:keep]
+
+
+def normalize_ws(text: str) -> str:
+    """Collapse runs of whitespace and strip, for stable SQL comparison."""
+    return _WS.sub(" ", text).strip()

@@ -1,0 +1,150 @@
+"""Tests for Algorithm 2 trace-back, the surrogate filter, and the human
+oracle."""
+
+import numpy as np
+import pytest
+
+from repro.abstention.human import BEGINNER, EXPERT, HumanOracle, HumanProfile
+from repro.abstention.traceback import trace_back
+from repro.core.pipeline import RTSPipeline
+from repro.llm.errors import ErrorEvent
+from repro.llm.model import GenerationSession
+
+from conftest import make_instance, make_racing_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_racing_db()
+
+
+class TestTraceBack:
+    def walk_to_branching(self, session):
+        while True:
+            step = session.propose()
+            if step.is_branching:
+                return step
+            session.commit()
+
+    def test_substitution_traces_to_distractor(self, llm, db):
+        inst = make_instance(db, ("races",), instance_id="tb1/table")
+        s = GenerationSession(llm, inst, [ErrorEvent(0, "substitute", "pit_stops")])
+        self.walk_to_branching(s)
+        result = trace_back(s)
+        assert result.items == ("pit_stops",)
+        assert not result.hit_eos
+
+    def test_insertion_traces_to_spurious(self, llm, db):
+        inst = make_instance(db, ("races", "drivers"), instance_id="tb2/table")
+        s = GenerationSession(llm, inst, [ErrorEvent(1, "insert", "pit_stops")])
+        self.walk_to_branching(s)
+        result = trace_back(s)
+        assert result.items == ("pit_stops",)
+
+    def test_eos_omission_returns_last_item(self, llm, db):
+        inst = make_instance(db, ("races", "drivers"), instance_id="tb3/table")
+        s = GenerationSession(llm, inst, [ErrorEvent(1, "omit")])
+        self.walk_to_branching(s)  # proposal EOS where gold wants SEP
+        result = trace_back(s)
+        assert result.hit_eos
+        assert result.items == ("races",)  # paper's T[-1:] interpretation
+
+    def test_traceback_does_not_commit(self, llm, db):
+        inst = make_instance(db, ("races",), instance_id="tb4/table")
+        s = GenerationSession(llm, inst, [ErrorEvent(0, "substitute", "pit_stops")])
+        self.walk_to_branching(s)
+        before = s.n_committed
+        trace_back(s)
+        assert s.n_committed == before
+
+    def test_requires_pending_branching_context(self, llm, db):
+        inst = make_instance(db, ("races",), instance_id="tb5/table")
+        s = GenerationSession(llm, inst, [])
+        s.propose()
+        result = trace_back(s)  # not branching, still well-defined
+        assert result.items == ("races",)
+
+
+class TestSurrogate:
+    def test_accuracy_in_paper_band(self, surrogate_tiny, bird_tiny):
+        instances = [
+            RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.dev
+        ]
+        acc = surrogate_tiny.accuracy(instances)
+        assert 0.80 <= acc <= 1.0
+
+    def test_judges_gold_item_relevant_usually(self, surrogate_tiny, bird_tiny):
+        hits = total = 0
+        for e in bird_tiny.dev:
+            inst = RTSPipeline.instance_for(e, bird_tiny, "table")
+            if inst.gold_items:
+                hits += surrogate_tiny.judge(inst, inst.gold_items[:1])
+                total += 1
+        assert hits / total > 0.8
+
+    def test_empty_set_is_relevant(self, surrogate_tiny, bird_tiny):
+        inst = RTSPipeline.instance_for(bird_tiny.dev.examples[0], bird_tiny, "table")
+        assert surrogate_tiny.judge(inst, ())
+
+    def test_unfitted_raises(self, bird_tiny):
+        from repro.abstention.surrogate import SurrogateFilter
+
+        inst = RTSPipeline.instance_for(bird_tiny.dev.examples[0], bird_tiny, "table")
+        with pytest.raises(RuntimeError):
+            SurrogateFilter().relevance_prob(inst, inst.candidates[0])
+
+    def test_judgement_deterministic(self, surrogate_tiny, bird_tiny):
+        inst = RTSPipeline.instance_for(bird_tiny.dev.examples[0], bird_tiny, "table")
+        item = inst.candidates[0]
+        assert surrogate_tiny.judge(inst, (item,)) == surrogate_tiny.judge(inst, (item,))
+
+    def test_column_head_trained_too(self, surrogate_tiny, bird_tiny):
+        inst = RTSPipeline.instance_for(bird_tiny.dev.examples[0], bird_tiny, "column")
+        p = surrogate_tiny.relevance_prob(inst, inst.candidates[0])
+        assert 0.0 <= p <= 1.0
+
+
+class TestHumanOracle:
+    def make_inst(self, bird_tiny, difficulty):
+        for e in bird_tiny.dev:
+            if e.difficulty == difficulty:
+                return RTSPipeline.instance_for(e, bird_tiny, "table")
+        pytest.skip(f"no {difficulty} example in tiny benchmark")
+
+    def test_simple_questions_always_correct(self, bird_tiny):
+        inst = self.make_inst(bird_tiny, "simple")
+        oracle = HumanOracle(BEGINNER, seed=1)
+        for i in range(50):
+            answer = oracle.confirm_relevance(inst, inst.gold_items[:1], i)
+            assert answer is True
+        assert oracle.answer_accuracy == 1.0
+
+    def test_expert_beats_beginner_on_challenging(self, bird_tiny):
+        inst = self.make_inst(bird_tiny, "challenging")
+        results = {}
+        for profile in (BEGINNER, EXPERT):
+            oracle = HumanOracle(profile, seed=2)
+            correct = sum(
+                oracle.confirm_relevance(inst, inst.gold_items[:1], i) is True
+                for i in range(400)
+            )
+            results[profile.name] = correct
+        assert results["expert"] >= results["beginner"]
+
+    def test_irrelevant_item_detected(self, bird_tiny):
+        inst = self.make_inst(bird_tiny, "simple")
+        non_gold = next(c for c in inst.candidates if c not in inst.gold_items)
+        oracle = HumanOracle(EXPERT, seed=3)
+        assert oracle.confirm_relevance(inst, (non_gold,), 0) is False
+
+    def test_unknown_difficulty_raises(self):
+        profile = HumanProfile("p", {"simple": 1.0}, {"simple": 1.0})
+        with pytest.raises(KeyError):
+            profile.accuracy("table", "impossible")
+
+    def test_question_counter(self, bird_tiny):
+        inst = self.make_inst(bird_tiny, "simple")
+        oracle = HumanOracle(EXPERT, seed=4)
+        oracle.confirm_relevance(inst, inst.gold_items[:1], 0)
+        oracle.confirm_relevance(inst, inst.gold_items[:1], 1)
+        assert oracle.questions_asked == 2

@@ -1,0 +1,190 @@
+"""Tests for conformal prediction: coverage guarantees and the paper's
+aggregation theorems (property-based where the math allows)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conformal.aggregate import (
+    majority_guarantee,
+    majority_size_bound,
+    majority_vote,
+    random_permutation,
+)
+from repro.conformal.nonconformity import one_minus_true_prob
+from repro.conformal.nonexchangeable import NonexchangeableConformalBinary
+from repro.conformal.split import SplitConformalBinary
+
+
+def synthetic_binary(n, seed, separation=2.0):
+    """A well-specified binary problem with imperfect class probabilities."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    scores = labels * separation + rng.normal(size=n)
+    p1 = 1.0 / (1.0 + np.exp(-(scores - separation / 2)))
+    probs = np.stack([1 - p1, p1], axis=1)
+    features = np.stack([scores, rng.normal(size=n)], axis=1)
+    return features, probs, labels
+
+
+class TestNonconformity:
+    def test_correct_class_low_score(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        scores = one_minus_true_prob(probs, np.array([0, 1]))
+        np.testing.assert_allclose(scores, [0.1, 0.2])
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_minus_true_prob(np.array([[0.5, 0.5]]), np.array([2]))
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            one_minus_true_prob(np.array([0.5, 0.5]), np.array([0, 1]))
+
+
+class TestSplitConformal:
+    @given(st.integers(0, 10_000), st.sampled_from([0.05, 0.1, 0.2]))
+    @settings(max_examples=20, deadline=None)
+    def test_marginal_coverage_property(self, seed, alpha):
+        """Empirical coverage >= 1 - alpha (within binomial tolerance)."""
+        features, probs, labels = synthetic_binary(1200, seed)
+        calib, test = slice(0, 600), slice(600, 1200)
+        model = SplitConformalBinary(alpha=alpha, mondrian=False).fit(
+            probs[calib], labels[calib]
+        )
+        sets = model.prediction_sets(probs[test])
+        covered = np.mean([labels[test][i] in s for i, s in enumerate(sets)])
+        assert covered >= 1 - alpha - 0.05  # 3-sigma-ish slack on n=600
+
+    def test_mondrian_class_conditional_coverage(self):
+        features, probs, labels = synthetic_binary(4000, 7)
+        calib, test = slice(0, 2000), slice(2000, 4000)
+        model = SplitConformalBinary(alpha=0.1, mondrian=True).fit(
+            probs[calib], labels[calib]
+        )
+        sets = model.prediction_sets(probs[test])
+        for cls in (0, 1):
+            mask = labels[test] == cls
+            covered = np.mean([cls in s for s, m in zip(sets, mask) if m])
+            assert covered >= 0.85
+
+    def test_smaller_alpha_larger_sets(self):
+        _f, probs, labels = synthetic_binary(1000, 3)
+        tight = SplitConformalBinary(alpha=0.3, mondrian=False).fit(probs, labels)
+        loose = SplitConformalBinary(alpha=0.02, mondrian=False).fit(probs, labels)
+        sizes_tight = sum(len(s) for s in tight.prediction_sets(probs[:200]))
+        sizes_loose = sum(len(s) for s in loose.prediction_sets(probs[:200]))
+        assert sizes_loose >= sizes_tight
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SplitConformalBinary(alpha=0.1).prediction_set(np.array([0.5, 0.5]))
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SplitConformalBinary(alpha=0.1).fit(np.ones((3, 3)), np.zeros(3))
+
+
+class TestNonexchangeable:
+    def test_coverage_on_iid_data(self):
+        features, probs, labels = synthetic_binary(1500, 11)
+        calib, test = slice(0, 1000), slice(1000, 1500)
+        model = NonexchangeableConformalBinary(alpha=0.1, k_neighbors=80, tau=4.0).fit(
+            features[calib], probs[calib], labels[calib]
+        )
+        sets = model.prediction_sets(features[test], probs[test])
+        covered = np.mean([labels[test][i] in s for i, s in enumerate(sets)])
+        assert covered >= 0.85
+
+    def test_far_test_point_gets_full_set(self):
+        features, probs, labels = synthetic_binary(200, 5)
+        model = NonexchangeableConformalBinary(alpha=0.1, tau=0.5).fit(
+            features, probs, labels
+        )
+        outlier = np.array([500.0, -500.0])
+        s = model.prediction_set(outlier, np.array([0.5, 0.5]))
+        assert s == frozenset({0, 1})
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NonexchangeableConformalBinary(alpha=0.1).prediction_set(
+                np.zeros(2), np.array([0.5, 0.5])
+            )
+
+
+set_strategy = st.sets(st.sampled_from([0, 1]), min_size=0, max_size=2).map(frozenset)
+
+
+class TestAggregation:
+    def test_majority_hand_case(self):
+        sets = [frozenset({1}), frozenset({1}), frozenset({0})]
+        assert majority_vote(sets, theta=0.5) == frozenset({1})
+
+    def test_majority_theta_zero_is_union_like(self):
+        sets = [frozenset({0}), frozenset({1})]
+        assert majority_vote(sets, theta=0.0) == frozenset({0, 1})
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([], 0.5)
+        with pytest.raises(ValueError):
+            random_permutation([], np.random.default_rng(0))
+
+    @given(st.lists(set_strategy, min_size=1, max_size=9), st.integers(0, 1 << 30))
+    @settings(max_examples=120, deadline=None)
+    def test_theorem3_permutation_subset_of_majority(self, sets, seed):
+        """|C_pi| <= |C_theta(1/2, non-strict)| — Theorem 3's size claim."""
+        rng = np.random.default_rng(seed)
+        c_pi = random_permutation(sets, rng)
+        c_majority = majority_vote(sets, theta=0.5, strict=False)
+        assert c_pi <= c_majority
+
+    @given(st.lists(set_strategy, min_size=1, max_size=9))
+    @settings(max_examples=80, deadline=None)
+    def test_theorem2_size_bound(self, sets):
+        c = majority_vote(sets, theta=0.5)
+        bound = majority_size_bound([len(s) for s in sets], theta=0.5)
+        assert len(c) <= bound + 1e-9
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_theorem1_coverage_bound_monte_carlo(self, seed):
+        """Aggregated coverage >= 1 - 2 alpha when each set covers 1-alpha."""
+        rng = np.random.default_rng(seed)
+        alpha, n_sets, n_trials = 0.1, 7, 800
+        misses = 0
+        for _ in range(n_trials):
+            true_label = int(rng.integers(0, 2))
+            sets = []
+            for _k in range(n_sets):
+                s = {true_label} if rng.random() > alpha else {1 - true_label}
+                sets.append(frozenset(s))
+            agg = majority_vote(sets, theta=0.5)
+            misses += true_label not in agg
+        assert 1 - misses / n_trials >= majority_guarantee(alpha, 0.5) - 0.04
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_theorem3_coverage_bound_monte_carlo(self, seed):
+        rng = np.random.default_rng(seed)
+        alpha, n_sets, n_trials = 0.1, 7, 800
+        misses = 0
+        for t in range(n_trials):
+            true_label = int(rng.integers(0, 2))
+            sets = [
+                frozenset({true_label} if rng.random() > alpha else {1 - true_label})
+                for _ in range(n_sets)
+            ]
+            agg = random_permutation(sets, np.random.default_rng(t))
+            misses += true_label not in agg
+        assert 1 - misses / n_trials >= 1 - 2 * alpha - 0.04
+
+    def test_guarantee_formula(self):
+        assert majority_guarantee(0.1, 0.5) == pytest.approx(0.8)
+        assert majority_guarantee(0.6, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            majority_guarantee(0.1, 1.0)
+
+    def test_size_bound_formula(self):
+        assert majority_size_bound([2, 2], theta=0.5) == pytest.approx(4.0)
+        assert majority_size_bound([1], theta=0.0) == float("inf")

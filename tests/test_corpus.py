@@ -1,0 +1,174 @@
+"""Tests for corpus generation: values, databases, questions, benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.bird import BirdBuilder
+from repro.corpus.dataset import DIFFICULTIES, Example
+from repro.corpus.generator import CorpusScale, DatabaseFactory
+from repro.corpus.questions import QuestionFactory, compute_features
+from repro.corpus.spider import SpiderBuilder
+from repro.corpus.values import draw_value, pool_values
+from repro.schema.naming import NamingStyle
+from repro.sqlengine.executor import Executor
+
+
+class TestValues:
+    def test_choice_pool(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert draw_value("choice:a|b", rng) in ("a", "b")
+
+    def test_int_range(self):
+        rng = np.random.default_rng(0)
+        values = [draw_value("int:3..5", rng) for _ in range(50)]
+        assert set(values) <= {3, 4, 5}
+        assert len(set(values)) == 3
+
+    def test_real_range_rounded(self):
+        rng = np.random.default_rng(0)
+        v = draw_value("real:0..1", rng)
+        assert 0 <= v <= 1
+        assert round(v, 2) == v
+
+    def test_date_format(self):
+        rng = np.random.default_rng(0)
+        v = draw_value("date", rng)
+        assert len(v) == 10 and v[4] == "-" and v[7] == "-"
+
+    def test_named_pool(self):
+        rng = np.random.default_rng(0)
+        assert draw_value("city", rng) in pool_values("city")
+
+    def test_unknown_pool_raises(self):
+        with pytest.raises(KeyError):
+            draw_value("nope", np.random.default_rng(0))
+
+    def test_pool_values_for_choice(self):
+        assert pool_values("choice:x|y") == ("x", "y")
+        assert pool_values("int:1..2") is None
+
+
+class TestDatabaseFactory:
+    @pytest.fixture(scope="class")
+    def factory(self):
+        return DatabaseFactory(seed=3, style=NamingStyle.SNAKE, scale=CorpusScale.tiny())
+
+    def test_deterministic(self, factory):
+        a = factory.build_database(0)
+        b = factory.build_database(0)
+        assert a.schema.table_names == b.schema.table_names
+        assert a.rows == b.rows
+
+    def test_fk_values_exist_in_parent(self, factory):
+        pdb = factory.build_database(0)
+        db = pdb.schema
+        for table in db.tables:
+            for fk in table.foreign_keys:
+                parent = db.table(fk.ref_table)
+                parent_idx = [c.name for c in parent.columns].index(fk.ref_column)
+                parent_values = {r[parent_idx] for r in pdb.rows[parent.name]}
+                child_idx = [c.name for c in table.columns].index(fk.column)
+                for row in pdb.rows[table.name]:
+                    if row[child_idx] is not None:
+                        assert row[child_idx] in parent_values
+
+    def test_primary_keys_unique(self, factory):
+        pdb = factory.build_database(1)
+        for table in pdb.schema.tables:
+            pk = table.primary_key
+            if not pk:
+                continue
+            idx = [c.name for c in table.columns].index(pk[0])
+            values = [r[idx] for r in pdb.rows[table.name]]
+            assert len(values) == len(set(values))
+
+    def test_style_override(self, factory):
+        dirty = factory.build_database(0, style=NamingStyle.DIRTY)
+        assert dirty.schema.dirty
+
+    def test_column_values_deduplicated(self, factory):
+        pdb = factory.build_database(0)
+        table = pdb.schema.tables[0]
+        col = table.columns[0]
+        values = pdb.column_values(table.name, col.name)
+        assert len(values) == len(set(values))
+
+
+class TestQuestions:
+    @pytest.fixture(scope="class")
+    def pdb(self):
+        factory = DatabaseFactory(seed=3, style=NamingStyle.SNAKE, scale=CorpusScale.tiny())
+        return factory.build_database(0)
+
+    def test_examples_have_consistent_gold(self, pdb):
+        qf = QuestionFactory(pdb, np.random.default_rng(0))
+        for example in qf.build(20, "t"):
+            # Gold tables are exactly the tables the gold SQL references.
+            assert set(example.gold_tables) == set(example.query.tables_used())
+            for t in example.gold_tables:
+                assert pdb.schema.has_table(t)
+
+    def test_difficulty_mix_all_present(self, pdb):
+        qf = QuestionFactory(pdb, np.random.default_rng(1))
+        difficulties = {e.difficulty for e in qf.build(60, "t")}
+        assert difficulties == set(DIFFICULTIES)
+
+    def test_question_text_uses_surfaces(self, pdb):
+        qf = QuestionFactory(pdb, np.random.default_rng(2))
+        example = qf.build_one("q1")
+        assert example.question.strip()
+        assert example.question[0].isupper() or example.question[0].isdigit()
+
+    def test_features_in_range(self, pdb):
+        qf = QuestionFactory(pdb, np.random.default_rng(3))
+        for e in qf.build(20, "t"):
+            f = e.features
+            assert 0 <= f.table_ambiguity <= 1
+            assert 0 <= f.column_ambiguity <= 1
+            assert 0 <= f.dirty_gap <= 1
+            assert f.n_gold_tables == len(e.gold_tables)
+
+
+class TestBenchmarks:
+    def test_gold_sql_executes_everywhere(self, bird_tiny, spider_tiny):
+        for bench in (bird_tiny, spider_tiny):
+            executor = Executor(bench.databases)
+            for split in ("train", "dev", "test"):
+                for example in bench.split(split):
+                    result = executor.execute(example.db_id, example.gold_sql)
+                    assert result.ok, (example.gold_sql, result.error)
+            executor.close()
+
+    def test_bird_is_dirty_spider_is_clean(self, bird_tiny, spider_tiny):
+        assert any(p.schema.dirty for p in bird_tiny.databases.values())
+        assert not any(p.schema.dirty for p in spider_tiny.databases.values())
+
+    def test_bird_has_knowledge_spider_does_not(self, bird_tiny, spider_tiny):
+        assert any(e.knowledge for e in bird_tiny.dev)
+        assert not any(e.knowledge for e in spider_tiny.dev)
+
+    def test_bird_measures_harder_than_spider(self, bird_tiny, spider_tiny):
+        bird_gap = np.mean([e.features.dirty_gap for e in bird_tiny.dev])
+        spider_gap = np.mean([e.features.dirty_gap for e in spider_tiny.dev])
+        assert bird_gap > spider_gap
+
+    def test_builders_deterministic(self):
+        a = SpiderBuilder(seed=5, scale=CorpusScale.tiny()).build()
+        b = SpiderBuilder(seed=5, scale=CorpusScale.tiny()).build()
+        assert [e.gold_sql for e in a.dev] == [e.gold_sql for e in b.dev]
+        assert [e.question for e in a.dev] == [e.question for e in b.dev]
+
+    def test_card_counts(self, bird_tiny):
+        card = bird_tiny.card()
+        assert card["train"] == len(bird_tiny.train)
+        assert card["databases"] == len(bird_tiny.databases)
+
+    def test_split_lookup(self, bird_tiny):
+        assert bird_tiny.split("dev") is bird_tiny.dev
+        with pytest.raises(KeyError):
+            bird_tiny.split("nope")
+
+    def test_example_ids_unique(self, bird_tiny):
+        ids = [e.example_id for s in ("train", "dev", "test") for e in bird_tiny.split(s)]
+        assert len(ids) == len(set(ids))

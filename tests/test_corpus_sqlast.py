@@ -1,0 +1,184 @@
+"""Tests for the SQL AST: rendering, analysis, transformation."""
+
+import pytest
+
+from repro.corpus.sqlast import (
+    ColumnRef,
+    Condition,
+    JoinEdge,
+    OrderTerm,
+    SelectItem,
+    SelectQuery,
+    Subquery,
+)
+
+
+def simple_query() -> SelectQuery:
+    return SelectQuery(
+        select=(SelectItem(col=ColumnRef("t", "a")),),
+        tables=("t",),
+    )
+
+
+def join_query() -> SelectQuery:
+    return SelectQuery(
+        select=(
+            SelectItem(col=ColumnRef("a", "x")),
+            SelectItem(col=ColumnRef("b", "y")),
+        ),
+        tables=("a", "b"),
+        joins=(JoinEdge(ColumnRef("a", "id"), ColumnRef("b", "a_id")),),
+        where=(Condition(ColumnRef("b", "z"), "=", "v"),),
+    )
+
+
+class TestRendering:
+    def test_simple_select(self):
+        assert simple_query().render() == "SELECT a FROM t"
+
+    def test_join_qualifies_columns(self):
+        sql = join_query().render()
+        assert "SELECT a.x, b.y" in sql
+        assert "JOIN b ON a.id = b.a_id" in sql
+        assert "WHERE b.z = 'v'" in sql
+
+    def test_string_escaping(self):
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "a")),),
+            tables=("t",),
+            where=(Condition(ColumnRef("t", "a"), "=", "O'Brien"),),
+        )
+        assert "O''Brien" in q.render()
+
+    def test_count_star(self):
+        q = SelectQuery(
+            select=(SelectItem(col=None, agg="COUNT"),), tables=("t",)
+        )
+        assert q.render() == "SELECT COUNT(*) FROM t"
+
+    def test_distinct(self):
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "a"), distinct=True),),
+            tables=("t",),
+        )
+        assert "DISTINCT a" in q.render()
+
+    def test_group_having_order_limit(self):
+        ref = ColumnRef("t", "g")
+        q = SelectQuery(
+            select=(SelectItem(col=ref),),
+            tables=("t",),
+            group_by=(ref,),
+            having=(Condition(None, ">", 2, agg="COUNT"),),
+            order_by=(OrderTerm(None, "DESC", agg="COUNT"),),
+            limit=3,
+        )
+        sql = q.render()
+        assert "GROUP BY g" in sql
+        assert "HAVING COUNT(*) > 2" in sql
+        assert "ORDER BY COUNT(*) DESC" in sql
+        assert sql.endswith("LIMIT 3")
+
+    def test_subquery_value(self):
+        inner = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "a"), agg="AVG"),),
+            tables=("t",),
+        )
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "b")),),
+            tables=("t",),
+            where=(Condition(ColumnRef("t", "a"), ">", Subquery(inner)),),
+        )
+        assert "WHERE a > (SELECT AVG(a) FROM t)" in q.render()
+
+    def test_boolean_and_float_literals(self):
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "a")),),
+            tables=("t",),
+            where=(
+                Condition(ColumnRef("t", "b"), "=", True),
+                Condition(ColumnRef("t", "c"), ">", 1.5),
+            ),
+        )
+        sql = q.render()
+        assert "b = 1" in sql and "c > 1.5" in sql
+
+
+class TestValidation:
+    def test_empty_select_rejected(self):
+        with pytest.raises(ValueError):
+            SelectQuery(select=(), tables=("t",))
+
+    def test_join_count_checked(self):
+        with pytest.raises(ValueError):
+            SelectQuery(
+                select=(SelectItem(col=ColumnRef("a", "x")),),
+                tables=("a", "b"),
+            )
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Condition(ColumnRef("t", "a"), "~", 1)
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            SelectItem(col=ColumnRef("t", "a"), agg="MEDIAN")
+
+    def test_non_count_must_have_column(self):
+        with pytest.raises(ValueError):
+            SelectItem(col=None, agg="AVG")
+
+    def test_order_direction_checked(self):
+        with pytest.raises(ValueError):
+            OrderTerm(ColumnRef("t", "a"), "SIDEWAYS")
+
+
+class TestAnalysis:
+    def test_tables_used_includes_subquery(self):
+        inner = SelectQuery(
+            select=(SelectItem(col=ColumnRef("u", "a"), agg="AVG"),),
+            tables=("u",),
+        )
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "b")),),
+            tables=("t",),
+            where=(Condition(ColumnRef("t", "a"), ">", Subquery(inner)),),
+        )
+        assert q.tables_used() == ("t", "u")
+
+    def test_columns_used_covers_joins_and_filters(self):
+        cols = join_query().columns_used()
+        assert set(cols["a"]) == {"x", "id"}
+        assert set(cols["b"]) == {"y", "a_id", "z"}
+
+    def test_columns_used_deduplicates(self):
+        ref = ColumnRef("t", "a")
+        q = SelectQuery(
+            select=(SelectItem(col=ref),),
+            tables=("t",),
+            where=(Condition(ref, ">", 1),),
+            order_by=(OrderTerm(ref, "ASC"),),
+        )
+        assert q.columns_used() == {"t": ("a",)}
+
+    def test_has_order(self):
+        assert not simple_query().has_order
+        q = SelectQuery(
+            select=(SelectItem(col=ColumnRef("t", "a")),),
+            tables=("t",),
+            order_by=(OrderTerm(ColumnRef("t", "a"), "ASC"),),
+        )
+        assert q.has_order
+
+
+class TestTransform:
+    def test_replace_column_everywhere(self):
+        q = join_query()
+        replaced = q.replace_column(ColumnRef("b", "z"), ColumnRef("b", "w"))
+        assert "b.w = 'v'" in replaced.render()
+        assert "b.z" not in replaced.render()
+
+    def test_replace_is_caseless(self):
+        q = simple_query()
+        replaced = q.replace_column(ColumnRef("T", "A"), ColumnRef("t", "c"))
+        assert replaced.render() == "SELECT c FROM t"

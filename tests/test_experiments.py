@@ -1,0 +1,109 @@
+"""Smoke + shape tests for every experiment runner (tiny scale)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    figure3,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.common import ExperimentContext
+
+ALL_MODULES = [
+    table1, figure3, table2, table3, table4, table5,
+    table6, table7, table8, table9, figure6, figure7,
+]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.tiny()
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__.split(".")[-1])
+def test_runner_produces_rows(ctx, module):
+    result = module.run(ctx)
+    assert result.rows
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    rendered = result.render()
+    assert result.experiment_id in rendered
+    markdown = result.to_markdown()
+    assert markdown.startswith("###")
+
+
+def test_table1_golden_beats_full(ctx):
+    rows = {r[0]: r[1] for r in table1.run(ctx).rows}
+    assert rows["Correct tables + Correct columns"] >= rows["Full tables + Full columns"]
+
+
+def test_figure3_overconfidence_shape(ctx):
+    rows = {r[0]: r[1] for r in figure3.run(ctx).rows}
+    assert rows["mean max-prob (correct tokens)"] > 0.9
+    assert rows["mean max-prob (branching tokens)"] > 0.85
+
+
+def test_table2_metrics_in_range(ctx):
+    for row in table2.run(ctx).rows:
+        _type, _ds, em, p, r = row
+        assert 0 <= em <= 100 and 0 <= p <= 100 and 0 <= r <= 100
+
+
+def test_table5_em_exceeds_table2(ctx):
+    """Abstention must raise EM over the non-abstaining baseline."""
+    base = {
+        (r[0], r[1]): r[2] for r in table2.run(ctx).rows
+    }  # (type, dataset) -> EM
+    for row in table5.run(ctx).rows:
+        method, label, dataset, em, _tar, _far = row
+        if method == "mBPP-Abstention" and not math.isnan(em):
+            assert em >= base[(label, dataset)] - 1e-9
+
+
+def test_figure6_ear_decreases_with_alpha(ctx):
+    rows = [r for r in figure6.run(ctx).rows if r[0] == "Table"]
+    ears = [r[3] for r in rows]
+    assert ears[0] >= ears[-1]  # alpha 0.02 vs 0.30
+
+
+def test_figure7_permutation_never_larger_ear_at_full_depth(ctx):
+    rows = figure7.run(ctx).rows
+    perm = {r[1]: r[3] for r in rows if r[0] == "Random Permutation"}
+    maj = {r[1]: r[3] for r in rows if r[0] == "Majority Vote"}
+    deepest = max(perm)
+    assert perm[deepest] <= maj[deepest] + 1e-9
+
+
+def test_context_memoizes(ctx):
+    assert ctx.benchmark("bird") is ctx.benchmark("bird")
+    assert ctx.pipeline("bird") is ctx.pipeline("bird")
+    assert ctx.surrogate("bird") is ctx.surrogate("bird")
+
+
+def test_ablations_runner(ctx):
+    result = ablations.run(ctx)
+    labels = [r[0] for r in result.rows]
+    assert any("Mondrian" in l for l in labels)
+    assert any("layer" in l for l in labels)
+    assert any("Logit-threshold" in l for l in labels)
+
+
+def test_calibrate_runner(ctx):
+    from repro.experiments import calibrate
+
+    result = calibrate.run(ctx)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert 0.0 <= row[8] <= 1.0  # mean propensity is a probability

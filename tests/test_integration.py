@@ -1,0 +1,66 @@
+"""End-to-end integration: corpus -> RTS linking -> SQL generation -> EX."""
+
+import pytest
+
+from repro.abstention.human import EXPERT, HumanOracle
+from repro.core.pipeline import RTSPipeline
+from repro.sqlgen.evaluate import (
+    evaluate_text2sql,
+    full_schema,
+    golden_schema,
+    rts_schema_provider,
+)
+from repro.sqlgen.profiles import DEEPSEEK_7B
+
+
+@pytest.fixture(scope="module")
+def joint_outcomes(fitted_pipeline, bird_tiny):
+    human = HumanOracle(EXPERT, seed=9)
+    return {
+        e.example_id: fitted_pipeline.link_joint(e, bird_tiny, mode="human", human=human)
+        for e in bird_tiny.dev
+    }
+
+
+def test_rts_schema_between_full_and_golden(bird_tiny, joint_outcomes):
+    golden = evaluate_text2sql(bird_tiny, "dev", golden_schema, DEEPSEEK_7B, seed=21)
+    rts = evaluate_text2sql(
+        bird_tiny, "dev", rts_schema_provider(joint_outcomes), DEEPSEEK_7B, seed=21
+    )
+    full = evaluate_text2sql(bird_tiny, "dev", full_schema, DEEPSEEK_7B, seed=21)
+    assert golden.execution_accuracy >= rts.execution_accuracy - 10.0
+    assert rts.execution_accuracy >= full.execution_accuracy - 10.0
+
+
+def test_rts_provider_falls_back_on_abstention(bird_tiny, joint_outcomes):
+    provider = rts_schema_provider(joint_outcomes)
+    example = bird_tiny.dev.examples[0]
+    db = bird_tiny.database(example.db_id).schema
+    provided = provider(example, db)
+    assert len(provided.tables) >= 1
+
+
+def test_whole_pipeline_is_deterministic(bird_tiny, llm):
+    """Two fresh pipelines with identical seeds agree on every outcome."""
+    from repro.core.config import RTSConfig
+
+    outcomes = []
+    for _ in range(2):
+        pipe = RTSPipeline(llm, RTSConfig(seed=3)).fit_benchmark(
+            bird_tiny, tasks=("table",)
+        )
+        run = [
+            pipe.link(RTSPipeline.instance_for(e, bird_tiny, "table"), mode="abstain")
+            for e in bird_tiny.dev.examples[:10]
+        ]
+        outcomes.append([(o.predicted, o.abstained, o.flags) for o in run])
+    assert outcomes[0] == outcomes[1]
+
+
+def test_human_assistance_lifts_downstream_ex(bird_tiny, fitted_pipeline, joint_outcomes):
+    """The RTS-linked schema must not trail the unassisted full schema."""
+    rts = evaluate_text2sql(
+        bird_tiny, "dev", rts_schema_provider(joint_outcomes), DEEPSEEK_7B, seed=33
+    )
+    full = evaluate_text2sql(bird_tiny, "dev", full_schema, DEEPSEEK_7B, seed=33)
+    assert rts.execution_accuracy >= full.execution_accuracy - 5.0

@@ -1,0 +1,159 @@
+"""Tests for the error process: propensity, event planning, distractors."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.dataset import InstanceFeatures
+from repro.llm.errors import (
+    ErrorEvent,
+    ErrorModelConfig,
+    INSERT,
+    OMIT,
+    SUBSTITUTE,
+    error_propensity,
+    plan_errors,
+)
+
+from conftest import make_instance, make_racing_db
+
+
+def features(**overrides) -> InstanceFeatures:
+    base = dict(
+        table_ambiguity=0.0,
+        column_ambiguity=0.0,
+        dirty_gap=0.0,
+        needs_knowledge=False,
+        n_tables=5,
+        n_gold_tables=1,
+        n_gold_columns=2,
+    )
+    base.update(overrides)
+    return InstanceFeatures(**base)
+
+
+class TestPropensity:
+    def test_monotone_in_dirty_gap(self):
+        lo = error_propensity(features(dirty_gap=0.0), "table", "simple")
+        hi = error_propensity(features(dirty_gap=0.8), "table", "simple")
+        assert hi > lo
+
+    def test_monotone_in_difficulty(self):
+        p = [
+            error_propensity(features(), "table", d)
+            for d in ("simple", "moderate", "challenging")
+        ]
+        assert p[0] < p[1] < p[2]
+
+    def test_column_task_harder(self):
+        t = error_propensity(features(), "table", "simple")
+        c = error_propensity(features(), "column", "simple")
+        assert c > t
+
+    def test_capped(self):
+        cfg = ErrorModelConfig(max_propensity=0.3)
+        p = error_propensity(
+            features(dirty_gap=1.0, needs_knowledge=True), "column", "challenging", cfg
+        )
+        assert p <= 0.3
+
+    def test_bounded_probability(self):
+        p = error_propensity(features(), "table", "simple")
+        assert 0.0 < p < 1.0
+
+
+class TestEventValidation:
+    def test_payload_required(self):
+        with pytest.raises(ValueError):
+            ErrorEvent(slot=0, kind=SUBSTITUTE)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ErrorEvent(slot=0, kind="explode")
+
+    def test_omit_needs_no_payload(self):
+        assert ErrorEvent(slot=1, kind=OMIT).payload is None
+
+
+class TestPlanning:
+    def test_deterministic(self):
+        db = make_racing_db()
+        inst = make_instance(db, ("races", "lap_times"), instance_id="e1/table")
+        assert plan_errors(inst, 11) == plan_errors(inst, 11)
+
+    def test_empty_gold_yields_no_events(self):
+        db = make_racing_db()
+        inst = make_instance(db, (), instance_id="e2/table")
+        assert plan_errors(inst, 11) == []
+
+    def test_never_plans_empty_generation(self):
+        db = make_racing_db()
+        # Sweep many instances; whenever events exist, at least one
+        # planned item must remain.
+        for i in range(120):
+            inst = make_instance(
+                db, ("races",), instance_id=f"g{i}/table", difficulty="challenging"
+            )
+            events = plan_errors(inst, 11)
+            omits = sum(1 for e in events if e.kind == OMIT)
+            assert omits < max(1, len(inst.gold_items)) or any(
+                e.kind == INSERT for e in events
+            )
+
+    def test_payloads_never_gold(self):
+        db = make_racing_db()
+        for i in range(200):
+            inst = make_instance(
+                db,
+                ("races", "drivers"),
+                instance_id=f"p{i}/table",
+                difficulty="challenging",
+            )
+            for event in plan_errors(inst, 11):
+                if event.payload is not None:
+                    assert event.payload not in inst.gold_items
+
+    def test_error_rate_tracks_propensity(self):
+        db = make_racing_db()
+        hard = sum(
+            bool(
+                plan_errors(
+                    make_instance(db, ("races",), instance_id=f"h{i}/table",
+                                  difficulty="challenging"),
+                    11,
+                )
+            )
+            for i in range(300)
+        )
+        easy = sum(
+            bool(
+                plan_errors(
+                    make_instance(db, ("races",), instance_id=f"h{i}/table",
+                                  difficulty="simple"),
+                    11,
+                )
+            )
+            for i in range(300)
+        )
+        assert hard > easy
+
+    def test_shared_hardness_couples_tasks(self):
+        # Same example id -> the table-task error implies an elevated
+        # chance of a column-task error (comonotone coupling).
+        db = make_racing_db()
+        both = table_only = 0
+        for i in range(400):
+            t_inst = make_instance(db, ("races",), instance_id=f"c{i}/table",
+                                   difficulty="moderate")
+            c_inst = make_instance(
+                db, ("races",), task="table",  # same candidates; simulate column id
+                instance_id=f"c{i}/column", difficulty="moderate",
+            )
+            t_err = bool(plan_errors(t_inst, 11))
+            c_err = bool(plan_errors(c_inst, 11))
+            if t_err and c_err:
+                both += 1
+            elif t_err:
+                table_only += 1
+        # With shared hardness, table errors should mostly co-occur with
+        # column errors (column propensity >= table propensity).
+        assert both > table_only

@@ -1,0 +1,105 @@
+"""Tests for hidden-state synthesis and the overconfident softmax."""
+
+import numpy as np
+import pytest
+
+from repro.llm.hidden import HiddenConfig, HiddenStateSynthesizer
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return HiddenStateSynthesizer(seed=2)
+
+
+class TestHiddenStates:
+    def test_shape(self, synth):
+        h = synth.hidden_states("i1", 0, "tok", "<bos>", 0, 0, False)
+        assert h.shape == (synth.config.n_layers, synth.config.dim)
+
+    def test_deterministic(self, synth):
+        a = synth.hidden_states("i1", 3, "tok", "prev", 1, 0, True)
+        b = synth.hidden_states("i1", 3, "tok", "prev", 1, 0, True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_differs_by_position(self, synth):
+        a = synth.hidden_states("i1", 0, "tok", "p", 0, 0, False)
+        b = synth.hidden_states("i1", 1, "tok", "p", 0, 0, False)
+        assert not np.allclose(a, b)
+
+    def test_branching_adds_signal_along_direction(self, synth):
+        # Branching and non-branching stacks at the same position differ
+        # by a multiple of the per-layer uncertainty direction (plus the
+        # same noise, which cancels in the difference).
+        a = synth.hidden_states("i2", 5, "tok", "p", 0, 0, True)
+        b = synth.hidden_states("i2", 5, "tok", "p", 0, 0, False)
+        diff = a - b
+        gains = np.asarray(synth.config.layer_gains)
+        peak = int(np.argmax(gains))
+        trough = int(np.argmin(gains))
+        assert np.linalg.norm(diff[peak]) > np.linalg.norm(diff[trough])
+
+    def test_gain_profile_validated(self):
+        with pytest.raises(ValueError):
+            HiddenConfig(n_layers=4, layer_gains=(1.0, 1.0))
+
+
+class TestSignalStrength:
+    def test_branching_signal_positive(self, synth):
+        strengths = [
+            synth.signal_strength("x", i, True) for i in range(100)
+        ]
+        assert all(s > 0 for s in strengths)
+
+    def test_spurious_rate_respects_decision_points(self, synth):
+        non_decision = [
+            synth.signal_strength("y", i, False, decision_point=False, nervousness=0.5)
+            for i in range(300)
+        ]
+        assert all(s == 0.0 for s in non_decision)
+
+    def test_spurious_rate_grows_with_nervousness(self, synth):
+        calm = sum(
+            synth.signal_strength(f"c{i}", 0, False, True, nervousness=0.02) > 0
+            for i in range(3000)
+        )
+        nervous = sum(
+            synth.signal_strength(f"c{i}", 0, False, True, nervousness=0.5) > 0
+            for i in range(3000)
+        )
+        assert nervous > calm
+
+    def test_spurious_decays_with_item_index(self, synth):
+        early = sum(
+            synth.signal_strength(f"d{i}", 0, False, True, 0.3, item_index=0) > 0
+            for i in range(3000)
+        )
+        late = sum(
+            synth.signal_strength(f"d{i}", 0, False, True, 0.3, item_index=4) > 0
+            for i in range(3000)
+        )
+        assert late < early
+
+
+class TestOverconfidence:
+    """The Figure 3a phenomenon, asserted statistically."""
+
+    def test_both_classes_concentrate_near_one(self, synth):
+        correct = np.array([synth.max_prob(f"a{i}", 0, False) for i in range(800)])
+        branching = np.array([synth.max_prob(f"a{i}", 0, True) for i in range(800)])
+        assert correct.mean() > 0.95
+        assert branching.mean() > 0.90
+        assert (correct > 0.9).mean() > 0.9
+        assert (branching > 0.9).mean() > 0.75
+
+    def test_probability_thresholding_cannot_separate(self, synth):
+        """No threshold achieves both recall>=0.8 and FPR<=0.2 (the
+        paper's argument for abandoning logit-based detection)."""
+        correct = np.array([synth.max_prob(f"b{i}", 0, False) for i in range(2000)])
+        branching = np.array([synth.max_prob(f"b{i}", 0, True) for i in range(2000)])
+        ok = False
+        for thr in np.linspace(0.85, 1.0, 60):
+            recall = (branching < thr).mean()
+            fpr = (correct < thr).mean()
+            if recall >= 0.8 and fpr <= 0.2:
+                ok = True
+        assert not ok

@@ -1,0 +1,97 @@
+"""Tests for the tokenizer (lossless subwords) and the decoding trie."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.tokenizer import (
+    EOS,
+    MAX_PIECE,
+    SEP,
+    detokenize,
+    tokenize_identifier,
+    tokenize_items,
+)
+from repro.llm.trie import ItemTrie
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,14}", fullmatch=True)
+
+
+class TestTokenizer:
+    @pytest.mark.parametrize(
+        "name,tokens",
+        [
+            ("lapTimes", ("lap", "Times")),
+            ("L_TMS", ("L", "_", "TMS")),
+            ("races", ("races",)),
+            ("lap_times", ("lap", "_", "times")),
+        ],
+    )
+    def test_examples(self, name, tokens):
+        assert tokenize_identifier(name) == tokens
+
+    def test_long_pieces_chunked(self):
+        for tok in tokenize_identifier("milliseconds"):
+            assert len(tok) <= MAX_PIECE
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tokenize_identifier("")
+
+    @given(identifiers)
+    @settings(max_examples=200, deadline=None)
+    def test_lossless(self, name):
+        assert "".join(tokenize_identifier(name)) == name
+
+    @given(st.lists(identifiers, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_items_roundtrip(self, items):
+        assert detokenize(tokenize_items(items)) == items
+
+    def test_item_stream_layout(self):
+        stream = tokenize_items(["races", "drivers"])
+        assert stream[-1] == EOS
+        assert SEP in stream
+
+    def test_detokenize_keeps_partial_tail(self):
+        assert detokenize(("lap", "Times")) == ["lapTimes"]
+
+    def test_detokenize_stops_at_eos(self):
+        assert detokenize(("a", EOS, "b")) == ["a"]
+
+
+class TestTrie:
+    @pytest.fixture
+    def trie(self):
+        return ItemTrie(["races", "race_days", "drivers"])
+
+    def test_valid_prefix(self, trie):
+        assert trie.valid_prefix(("race",))
+        assert trie.valid_prefix(())
+        assert not trie.valid_prefix(("xyz",))
+
+    def test_next_tokens(self, trie):
+        nxt = trie.next_tokens(("race",))
+        assert "_" in nxt  # race_days continues with '_'
+
+    def test_completed_item(self, trie):
+        assert trie.completed_item(tokenize_identifier("races")) == "races"
+        assert trie.completed_item(("race",)) is None
+
+    def test_completions(self, trie):
+        comps = set(trie.completions(("race",)))
+        assert comps == {"race_days"}
+        assert set(trie.completions(())) == {"races", "race_days", "drivers"}
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            ItemTrie([])
+
+    def test_all_generated_item_tokens_walk_the_trie(self, bird_tiny):
+        for pdb in bird_tiny.databases.values():
+            names = [t.name for t in pdb.schema.tables]
+            trie = ItemTrie(names)
+            for name in names:
+                tokens = tokenize_identifier(name)
+                for i in range(len(tokens) + 1):
+                    assert trie.valid_prefix(tokens[:i])
+                assert trie.completed_item(tokens) == name

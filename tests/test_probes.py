@@ -1,0 +1,174 @@
+"""Tests for the MLP probe, sBPP, layer selection, and the mBPP."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RTSPipeline
+from repro.linking.dataset import collect_branch_dataset
+from repro.probes.mbpp import MultiLayerBPP
+from repro.probes.metrics import coverage_and_ear, evaluate_bpp
+from repro.probes.mlp import MLPClassifier, MLPConfig
+from repro.probes.sbpp import SingleLayerBPP
+from repro.probes.selection import rank_layers
+
+
+class TestMLP:
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        clf = MLPClassifier(MLPConfig(epochs=40), seed=1).fit(X, y)
+        acc = (clf.predict(X) == y).mean()
+        assert acc > 0.95
+
+    def test_learns_xor(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(600, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+        clf = MLPClassifier(MLPConfig(epochs=200, hidden_units=12), seed=2).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_handles_class_imbalance(self):
+        rng = np.random.default_rng(2)
+        n_pos = 30
+        X = np.vstack([rng.normal(3, 1, size=(n_pos, 3)), rng.normal(0, 1, size=(970, 3))])
+        y = np.concatenate([np.ones(n_pos), np.zeros(970)])
+        clf = MLPClassifier(seed=3).fit(X, y)
+        recall = clf.predict(X[:n_pos]).mean()
+        assert recall > 0.8
+
+    def test_probabilities_valid(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(50, 2))
+        y = (X[:, 0] > 0).astype(float)
+        clf = MLPClassifier(MLPConfig(epochs=5), seed=0).fit(X, y)
+        probs = clf.predict_proba(X)
+        assert probs.shape == (50, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        single = clf.predict_proba(X[0])
+        assert single.shape == (2,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_deterministic_training(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(float)
+        a = MLPClassifier(seed=7).fit(X, y).decision_function(X)
+        b = MLPClassifier(seed=7).fit(X, y).decision_function(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MLPConfig(hidden_units=0)
+
+
+class TestSelection:
+    def test_top_k(self):
+        assert rank_layers([0.5, 0.9, 0.7, 0.8], 2) == [1, 3]
+
+    def test_nan_ranks_last(self):
+        assert rank_layers([float("nan"), 0.6], 1) == [1]
+
+    def test_tie_prefers_deeper(self):
+        assert rank_layers([0.9, 0.9, 0.5], 1) == [1]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            rank_layers([0.5], 0)
+
+
+@pytest.fixture(scope="module")
+def branch_data(llm, bird_tiny):
+    instances = [
+        RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.train
+    ]
+    return collect_branch_dataset(llm, instances)
+
+
+class TestSBPPAndMBPP:
+    def test_sbpp_fit_and_sets(self, branch_data):
+        rng = np.random.default_rng(0)
+        calib, train = branch_data.split_by_group(0.5, rng)
+        probe = SingleLayerBPP(layer_index=7, alpha=0.1, seed=1).fit(train, calib)
+        assert 0.5 < probe.auc <= 1.0
+        s = probe.prediction_set(branch_data.hidden[0])
+        assert s <= {0, 1}
+
+    def test_sbpp_with_alpha_changes_thresholds(self, branch_data):
+        rng = np.random.default_rng(0)
+        calib, train = branch_data.split_by_group(0.5, rng)
+        probe = SingleLayerBPP(layer_index=7, alpha=0.1, seed=1).fit(train, calib)
+        loose = probe.with_alpha(0.02)
+        # Smaller alpha -> (weakly) larger sets for the same tokens.
+        for i in range(0, branch_data.n_tokens, 37):
+            assert probe.prediction_set(branch_data.hidden[i]) <= loose.prediction_set(
+                branch_data.hidden[i]
+            )
+
+    def test_sbpp_invalid_mode(self):
+        with pytest.raises(ValueError):
+            SingleLayerBPP(0, conformal_mode="quantum")
+
+    def test_mbpp_train_selects_k(self, branch_data):
+        mbpp = MultiLayerBPP.train(branch_data, alpha=0.1, k=3, seed=0)
+        assert len(mbpp.sbpps) == 3
+        assert len(mbpp.all_probes) == branch_data.n_layers
+        assert mbpp.layers == sorted(mbpp.layers)
+
+    def test_mbpp_selects_high_gain_layers(self, branch_data):
+        """Top-k selection should land on the mid-late gain peak."""
+        mbpp = MultiLayerBPP.train(branch_data, alpha=0.1, k=5, seed=0)
+        assert all(3 <= layer <= 10 for layer in mbpp.layers)
+
+    def test_mbpp_predict_dataset_matches_tokenwise(self, branch_data):
+        mbpp = MultiLayerBPP.train(branch_data, alpha=0.1, k=3, seed=0)
+        batch = mbpp.predict_dataset(branch_data)
+        for i in range(0, branch_data.n_tokens, 29):
+            single = mbpp.is_branching(
+                branch_data.hidden[i], key=("ds", int(branch_data.groups[i]), i)
+            )
+            assert single == batch[i]
+
+    def test_mbpp_subset_and_method_switch(self, branch_data):
+        mbpp = MultiLayerBPP.train(branch_data, alpha=0.1, k=5, seed=0)
+        small = mbpp.subset(2, method="majority")
+        assert len(small.sbpps) == 2
+        assert small.method == "majority"
+
+    def test_mbpp_coverage_respects_guarantee(self, branch_data, llm, bird_tiny):
+        mbpp = MultiLayerBPP.train(branch_data, alpha=0.1, k=5, seed=0)
+        dev = [
+            RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.dev
+        ]
+        dataset = collect_branch_dataset(llm, dev)
+        ev = evaluate_bpp(mbpp, dataset)
+        # 1 - 2*alpha guarantee with slack for the small dev sample.
+        if ev.n_branching >= 5:
+            assert ev.coverage >= 0.8 - 0.15
+
+    def test_invalid_aggregation_method(self, branch_data):
+        with pytest.raises(ValueError):
+            MultiLayerBPP(sbpps=[], method="majority")
+
+
+class TestMetrics:
+    def test_coverage_and_ear_hand_case(self):
+        labels = np.array([1, 1, 0, 0, 0], dtype=bool)
+        preds = np.array([1, 0, 1, 0, 0], dtype=bool)
+        coverage, ear = coverage_and_ear(labels, preds)
+        assert coverage == 0.5
+        assert ear == 0.2
+
+    def test_no_positives_nan_coverage(self):
+        import math
+
+        coverage, ear = coverage_and_ear(np.zeros(4, dtype=bool), np.zeros(4, dtype=bool))
+        assert math.isnan(coverage)
+        assert ear == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            coverage_and_ear(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))

@@ -1,0 +1,218 @@
+"""Tests for the schema model: columns, tables, databases, DDL, naming."""
+
+import numpy as np
+import pytest
+
+from repro.schema.column import Column, ColumnType
+from repro.schema.catalog import Catalog
+from repro.schema.database import Database
+from repro.schema.ddl import render_create_table, render_database_ddl, schema_prompt
+from repro.schema.naming import NamingStyle, dirty_name, rename_database
+from repro.schema.table import ForeignKey, Table
+
+from conftest import make_column, make_racing_db
+
+
+class TestColumn:
+    def test_surface_prefers_semantic_words(self):
+        col = Column("EdOps", ColumnType.TEXT, semantic_words=("education", "operations"))
+        assert col.surface == "education operations"
+
+    def test_surface_falls_back_to_name(self):
+        assert Column("foo", ColumnType.TEXT).surface == "foo"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", ColumnType.TEXT)
+
+    def test_renamed_keeps_semantics(self):
+        col = Column("a", ColumnType.TEXT, semantic_words=("alpha",))
+        assert col.renamed("b").semantic_words == ("alpha",)
+        assert col.renamed("b").name == "b"
+
+    def test_without_description(self):
+        col = Column("a", ColumnType.TEXT, description="d")
+        assert col.without_description().description is None
+
+    @pytest.mark.parametrize(
+        "ctype,affinity,numeric",
+        [
+            (ColumnType.INTEGER, "INTEGER", True),
+            (ColumnType.REAL, "REAL", True),
+            (ColumnType.TEXT, "TEXT", False),
+            (ColumnType.DATE, "TEXT", False),
+            (ColumnType.BOOLEAN, "INTEGER", True),
+        ],
+    )
+    def test_type_affinities(self, ctype, affinity, numeric):
+        assert ctype.sqlite_affinity == affinity
+        assert ctype.is_numeric is numeric
+
+    def test_date_and_text_are_distinct_members(self):
+        assert ColumnType.DATE is not ColumnType.TEXT
+        assert ColumnType.BOOLEAN is not ColumnType.INTEGER
+
+
+class TestTable:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", (make_column("a"), make_column("a")))
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                (make_column("a"),),
+                foreign_keys=(ForeignKey("missing", "x", "y"),),
+            )
+
+    def test_primary_key_listing(self):
+        t = Table("t", (make_column("id", pk=True), make_column("v")))
+        assert t.primary_key == ("id",)
+
+    def test_column_lookup_case_insensitive(self):
+        t = Table("t", (make_column("RaceId"),))
+        assert t.column("raceid").name == "RaceId"
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", ())
+
+
+class TestDatabase:
+    def test_fk_referential_integrity_enforced(self):
+        t1 = Table("a", (make_column("x", pk=True),))
+        bad = Table(
+            "b",
+            (make_column("a_x"),),
+            foreign_keys=(ForeignKey("a_x", "missing", "x"),),
+        )
+        with pytest.raises(ValueError):
+            Database("db", (t1, bad))
+
+    def test_join_condition_found_either_direction(self):
+        db = make_racing_db()
+        edge = db.join_condition("races", "lap_times")
+        assert edge is not None
+        lt, lc, rt, rc = edge
+        assert {lt, rt} == {"races", "lap_times"}
+
+    def test_join_condition_none_when_unrelated(self):
+        db = make_racing_db()
+        assert db.join_condition("drivers", "pit_stops") is None
+
+    def test_neighbors(self):
+        db = make_racing_db()
+        assert set(db.neighbors("races")) == {"lap_times", "pit_stops"}
+
+    def test_subset_keeps_primary_keys(self):
+        db = make_racing_db()
+        sub = db.subset(["races"], {"races": ["race_name"]})
+        cols = sub.table("races").column_names
+        assert "race_id" in cols and "race_name" in cols
+        assert "season_year" not in cols
+
+    def test_subset_drops_dangling_fks(self):
+        db = make_racing_db()
+        sub = db.subset(["lap_times"])
+        assert sub.table("lap_times").foreign_keys == ()
+
+    def test_qualified_columns_order(self):
+        db = make_racing_db()
+        qc = db.qualified_columns()
+        assert qc[0] == ("races", "race_id")
+        assert len(qc) == db.n_columns
+
+
+class TestDDL:
+    def test_create_table_executes(self):
+        import sqlite3
+
+        db = make_racing_db()
+        conn = sqlite3.connect(":memory:")
+        for t in db.tables:
+            conn.execute(render_create_table(t))
+        names = {
+            r[0]
+            for r in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert names == {"races", "drivers", "lap_times", "pit_stops"}
+
+    def test_full_ddl_contains_all_tables(self):
+        ddl = render_database_ddl(make_racing_db())
+        assert ddl.count("CREATE TABLE") == 4
+
+    def test_schema_prompt_includes_descriptions(self):
+        col = Column("x", ColumnType.TEXT, description="the x value")
+        t = Table("t", (col,))
+        db = Database("d", (t,))
+        prompt = schema_prompt(db)
+        assert "-- the x value" in prompt
+        assert "-- the x value" not in schema_prompt(db, include_descriptions=False)
+
+    def test_schema_prompt_includes_knowledge(self):
+        db = Database(
+            "d",
+            (Table("t", (make_column("a"),)),),
+            knowledge=("podium means top three",),
+        )
+        assert "podium means top three" in schema_prompt(db)
+
+
+class TestNaming:
+    def test_dirty_name_is_deterministic_per_rng(self):
+        a = dirty_name(("education", "operations"), np.random.default_rng(1))
+        b = dirty_name(("education", "operations"), np.random.default_rng(1))
+        assert a == b
+
+    def test_rename_database_consistent_fks(self):
+        db = make_racing_db()
+        renamed = rename_database(db, NamingStyle.DIRTY, np.random.default_rng(3))
+        # FK targets must reference existing tables/columns (validated in
+        # Database.__post_init__, so construction succeeding is the test).
+        assert len(renamed.tables) == len(db.tables)
+        assert renamed.dirty
+
+    def test_rename_preserves_semantics(self):
+        db = make_racing_db()
+        renamed = rename_database(db, NamingStyle.CAMEL, np.random.default_rng(3))
+        for orig, new in zip(db.tables, renamed.tables):
+            assert new.semantic_words == orig.semantic_words
+
+    def test_camel_style_render(self):
+        assert NamingStyle.CAMEL.render(("lap", "times")) == "lapTimes"
+        assert NamingStyle.SNAKE.render(("lap", "times")) == "lap_times"
+
+    def test_dirty_style_requires_rng(self):
+        with pytest.raises(ValueError):
+            NamingStyle.DIRTY.render(("a",))
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        cat = Catalog("c")
+        cat.add(make_racing_db())
+        assert cat.get("racing_test").name == "racing_test"
+        assert len(cat) == 1
+
+    def test_duplicate_rejected(self):
+        cat = Catalog("c")
+        cat.add(make_racing_db())
+        with pytest.raises(ValueError):
+            cat.add(make_racing_db())
+
+    def test_summary_statistics(self):
+        cat = Catalog("c")
+        cat.add(make_racing_db())
+        s = cat.summary()
+        assert s["databases"] == 1
+        assert s["tables"] == 4
+        assert s["avg_tables"] == 4.0
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            Catalog("c").get("nope")

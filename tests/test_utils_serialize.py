@@ -1,0 +1,51 @@
+"""Tests for JSON serialization helpers."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.serialize import dump_json, load_json, to_jsonable
+
+
+@dataclass
+class Inner:
+    values: np.ndarray
+
+
+@dataclass
+class Outer:
+    name: str
+    count: np.int64
+    ratio: np.float64
+    flag: np.bool_
+    inner: Inner
+
+
+def test_to_jsonable_dataclass_tree():
+    obj = Outer(
+        name="x",
+        count=np.int64(3),
+        ratio=np.float64(0.5),
+        flag=np.bool_(True),
+        inner=Inner(values=np.array([1, 2])),
+    )
+    out = to_jsonable(obj)
+    assert out == {
+        "name": "x",
+        "count": 3,
+        "ratio": 0.5,
+        "flag": True,
+        "inner": {"values": [1, 2]},
+    }
+
+
+def test_roundtrip_through_file(tmp_path):
+    path = tmp_path / "sub" / "data.json"
+    dump_json({"a": [1, 2], "b": (3, 4)}, path)
+    assert load_json(path) == {"a": [1, 2], "b": [3, 4]}
+
+
+def test_plain_values_pass_through():
+    assert to_jsonable("s") == "s"
+    assert to_jsonable(None) is None
+    assert to_jsonable({1: "a"}) == {"1": "a"}

@@ -1,0 +1,126 @@
+"""Tests for repro.utils.stats (AUC, conformal quantile, intervals)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.stats import (
+    auc_score,
+    binomial_ci,
+    bootstrap_ci,
+    conformal_quantile,
+    histogram,
+)
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert auc_score(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted(self):
+        assert auc_score(np.array([1, 1, 0, 0]), np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000).astype(bool)
+        scores = rng.random(4000)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.03
+
+    def test_ties_get_half_credit(self):
+        # All scores equal: AUC must be exactly 0.5 under mid-ranks.
+        assert auc_score(np.array([0, 1, 0, 1]), np.ones(4)) == 0.5
+
+    def test_single_class_is_nan(self):
+        assert math.isnan(auc_score(np.zeros(5, dtype=bool), np.arange(5.0)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.zeros(3), np.zeros(4))
+
+    @given(st.integers(10, 60), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_auc_invariant_under_monotone_transform(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n).astype(bool)
+        scores = rng.normal(size=n)
+        if labels.all() or not labels.any():
+            return
+        a = auc_score(labels, scores)
+        b = auc_score(labels, np.exp(scores))  # strictly monotone
+        assert abs(a - b) < 1e-12
+
+
+class TestConformalQuantile:
+    def test_matches_formula_small(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        # n=5, alpha=0.5 -> level ceil(6*0.5)/5 = 0.6 -> 3rd of 5 sorted
+        assert conformal_quantile(scores, 0.5) == pytest.approx(0.3)
+
+    def test_small_alpha_returns_inf_when_unachievable(self):
+        scores = np.array([0.1, 0.2])
+        # n=2, alpha=0.1 -> ceil(3*0.9)/2 = 1.35 > 1 -> inf
+        assert conformal_quantile(scores, 0.1) == float("inf")
+
+    def test_empty_scores_inf(self):
+        assert conformal_quantile(np.array([]), 0.1) == float("inf")
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            conformal_quantile(np.array([1.0]), 0.0)
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=20, max_size=200),
+        st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantile_dominates_1_minus_alpha_mass(self, values, alpha):
+        scores = np.asarray(values)
+        q = conformal_quantile(scores, alpha)
+        if math.isinf(q):
+            return
+        # At least ceil((n+1)(1-alpha)) calibration scores lie at or below q.
+        needed = math.ceil((len(scores) + 1) * (1 - alpha))
+        assert (scores <= q).sum() >= min(needed, len(scores))
+
+
+class TestIntervals:
+    def test_bootstrap_contains_mean_roughly(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10.0, 1.0, size=400)
+        lo, hi = bootstrap_ci(values, rng)
+        assert lo < 10.0 < hi
+
+    def test_bootstrap_empty(self):
+        lo, hi = bootstrap_ci(np.array([]), np.random.default_rng(0))
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_binomial_ci_bounds(self):
+        lo, hi = binomial_ci(50, 100)
+        assert 0.0 <= lo < 0.5 < hi <= 1.0
+
+    def test_binomial_ci_degenerate(self):
+        lo, hi = binomial_ci(0, 0)
+        assert math.isnan(lo) and math.isnan(hi)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        h = histogram(np.array([0.1, 0.2, 0.9]), bins=4, lo=0.0, hi=1.0)
+        assert sum(h.counts) == 3
+
+    def test_fractions_normalized(self):
+        h = histogram(np.linspace(0, 1, 50), bins=5)
+        assert sum(h.fractions) == pytest.approx(1.0)
+
+    def test_empty_histogram(self):
+        h = histogram(np.array([]), bins=3)
+        assert sum(h.counts) == 0
+        assert all(f == 0.0 for f in h.fractions)
+
+    def test_as_rows_shape(self):
+        h = histogram(np.array([1.0, 2.0]), bins=2)
+        rows = h.as_rows()
+        assert len(rows) == 2
+        assert len(rows[0]) == 3

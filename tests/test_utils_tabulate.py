@@ -1,0 +1,33 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tabulate import format_cell, render_table
+
+
+def test_basic_alignment():
+    out = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a ")
+    assert "2.50" in out and "3.25" in out
+
+
+def test_title_rendered():
+    out = render_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_format_cell_float_fmt():
+    assert format_cell(3.14159, "{:.1f}") == "3.1"
+    assert format_cell(True) == "True"
+    assert format_cell("s") == "s"
+
+
+def test_custom_float_format_applies_to_table():
+    out = render_table(["v"], [[0.123456]], float_fmt="{:.4f}")
+    assert "0.1235" in out

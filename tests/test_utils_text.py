@@ -1,0 +1,74 @@
+"""Tests for repro.utils.text identifier handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.text import (
+    abbreviate,
+    normalize_ws,
+    split_identifier,
+    to_camel_case,
+    to_pascal_case,
+    to_snake_case,
+    words_of,
+)
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("lapTimes", ["lap", "times"]),
+        ("lap_times", ["lap", "times"]),
+        ("T_BIL", ["t", "bil"]),
+        ("raceId", ["race", "id"]),
+        ("EdOps", ["ed", "ops"]),
+        ("HTTPServer", ["http", "server"]),
+        ("kebab-case-name", ["kebab", "case", "name"]),
+        ("", []),
+        ("x", ["x"]),
+    ],
+)
+def test_split_identifier(name, expected):
+    assert split_identifier(name) == expected
+
+
+def test_case_conversions_roundtrip_words():
+    words = ["lap", "times"]
+    assert to_snake_case(words) == "lap_times"
+    assert to_camel_case(words) == "lapTimes"
+    assert to_pascal_case(words) == "LapTimes"
+
+
+def test_case_conversions_from_string():
+    assert to_snake_case("lapTimes") == "lap_times"
+    assert to_camel_case("lap_times") == "lapTimes"
+
+
+def test_camel_of_empty():
+    assert to_camel_case([]) == ""
+
+
+def test_abbreviate_canonical():
+    assert abbreviate("education") == "ed"
+    assert abbreviate("number") == "num"
+    assert abbreviate("bilirubin") == "bil"
+
+
+def test_abbreviate_vowel_strip():
+    assert abbreviate("grade") == "grd"
+    assert abbreviate("cat") == "cat"  # short words unchanged
+
+
+def test_words_of_strips_punctuation():
+    assert words_of("What is the lap-time, please?") == [
+        "what", "is", "the", "lap", "time", "please",
+    ]
+
+
+def test_normalize_ws():
+    assert normalize_ws("  a \n b\t c ") == "a b c"
+
+
+@given(st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=6), min_size=1, max_size=4))
+def test_snake_case_splits_back(words):
+    assert split_identifier(to_snake_case(words)) == [w.lower() for w in words]
