@@ -1,5 +1,6 @@
 """Micro-benchmarks of the library's hot paths: tokenization, hidden-state
-synthesis, probe training, conformal calibration, generation, execution."""
+synthesis, probe training, conformal calibration, generation, execution,
+and the batched evaluation runtime (batch-vs-serial throughput)."""
 
 from __future__ import annotations
 
@@ -9,9 +10,12 @@ import pytest
 from repro.conformal.split import SplitConformalBinary
 from repro.core.pipeline import RTSPipeline
 from repro.linking.dataset import collect_branch_dataset
+from repro.llm.model import TransparentLLM
 from repro.llm.tokenizer import tokenize_items
 from repro.llm.trie import ItemTrie
 from repro.probes.mlp import MLPClassifier, MLPConfig
+from repro.runtime.cache import CachingLLM
+from repro.runtime.runner import BatchRunner
 from repro.sqlengine.executor import Executor
 
 
@@ -122,3 +126,56 @@ def test_bench_rts_link_abstain(benchmark, ctx):
         for e in bench.dev.examples[:8]
     ]
     benchmark(lambda: [pipe.link(i, mode="abstain") for i in instances])
+
+
+# -- batched evaluation runtime ----------------------------------------------
+#
+# Same workload (link over the dev split), three execution paths. Compare
+# the "batch" group's rows: the batch runner must not be slower than the
+# hand-rolled serial loop, and the threaded pool should win where numpy
+# releases the GIL.
+
+
+@pytest.fixture(scope="module")
+def batch_workload(ctx):
+    bench = ctx.benchmark("bird")
+    pipe = ctx.pipeline("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table") for e in bench.dev.examples
+    ]
+    return pipe, instances
+
+
+@pytest.mark.benchmark(group="batch")
+def test_bench_batch_serial_loop(benchmark, batch_workload):
+    """Baseline: the pre-runtime hand-rolled per-example loop."""
+    pipe, instances = batch_workload
+    benchmark(lambda: [pipe.link(i, mode="abstain") for i in instances])
+
+
+@pytest.mark.benchmark(group="batch")
+def test_bench_batch_runner_serial(benchmark, batch_workload):
+    pipe, instances = batch_workload
+    runner = BatchRunner(pipe, workers=1)
+    benchmark(lambda: runner.run_link(instances, mode="abstain"))
+
+
+@pytest.mark.benchmark(group="batch")
+def test_bench_batch_runner_threads(benchmark, batch_workload):
+    pipe, instances = batch_workload
+    runner = BatchRunner(pipe, workers=4, backend="thread")
+    benchmark(lambda: runner.run_link(instances, mode="abstain"))
+
+
+@pytest.mark.benchmark(group="batch")
+def test_bench_generation_cache_cold_vs_warm(benchmark, ctx):
+    """One cold fill, then timed warm sweeps — the cache's whole point."""
+    bench = ctx.benchmark("bird")
+    llm = CachingLLM(TransparentLLM(seed=11))
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table") for e in bench.dev.examples
+    ]
+    for instance in instances:  # cold fill outside the timed region
+        llm.generate(instance)
+    benchmark(lambda: [llm.generate(i) for i in instances])
+    assert llm.stats.hits > 0

@@ -11,9 +11,10 @@ pipeline.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
-from repro.linking.instance import COLUMN_TASK, SchemaLinkingInstance, TABLE_TASK
+from repro.linking.instance import SchemaLinkingInstance, TABLE_TASK
 from repro.utils.rng import spawn
 
 __all__ = ["HumanProfile", "HumanOracle", "BEGINNER", "EXPERT"]
@@ -59,6 +60,19 @@ class HumanOracle:
         self.seed = seed
         self._n_questions = 0
         self._n_correct = 0
+        # Answers are pure functions of (seed, instance, query index), so
+        # batch evaluation may consult one oracle from many threads; only
+        # the running tallies need the lock.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def questions_asked(self) -> int:
@@ -93,6 +107,7 @@ class HumanOracle:
         gold = {g.lower() for g in instance.gold_items}
         truth = bool(items) and all(item.lower() in gold for item in items)
         correct = self._answers_correctly(instance, query_index)
-        self._n_questions += 1
-        self._n_correct += int(correct)
+        with self._lock:
+            self._n_questions += 1
+            self._n_correct += int(correct)
         return truth if correct else not truth

@@ -13,7 +13,6 @@ forcing the linker to continue into a wrong generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

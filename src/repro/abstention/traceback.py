@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.llm.model import GenerationSession
-from repro.llm.tokenizer import EOS, SEP, detokenize
+from repro.llm.tokenizer import EOS, detokenize
 
 __all__ = ["TraceBackResult", "trace_back"]
 

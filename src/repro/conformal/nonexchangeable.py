@@ -13,7 +13,7 @@ answer under extreme covariate shift.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,8 +18,6 @@ through the mBPP. On a detected branching point the pipeline either
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.abstention.human import HumanOracle
 from repro.abstention.surrogate import SurrogateFilter
 from repro.abstention.traceback import trace_back
@@ -31,7 +29,6 @@ from repro.linking.instance import (
     COLUMN_TASK,
     SchemaLinkingInstance,
     TABLE_TASK,
-    parse_column_item,
 )
 from repro.llm.errors import _pick_distractor
 from repro.llm.model import TransparentLLM
@@ -54,16 +51,26 @@ class RTSPipeline:
     # -- training -------------------------------------------------------------
 
     def fit_task(
-        self, task: str, instances: "list[SchemaLinkingInstance]"
+        self, task: str, instances: "list[SchemaLinkingInstance]", pool=None
     ) -> "RTSPipeline":
-        """Collect D_branch for ``task`` and train its mBPP."""
+        """Collect D_branch for ``task`` and train its mBPP.
+
+        ``pool`` optionally fans the teacher-forced trace collection out
+        over a :class:`~repro.runtime.pool.WorkerPool` (anything with an
+        order-preserving ``map_ordered``); training itself is serial.
+        """
         cfg = self.config
         if cfg.train_fraction < 1.0:
             rng = spawn(cfg.seed, "train-fraction", task)
             n_keep = max(2, int(round(cfg.train_fraction * len(instances))))
             idx = rng.permutation(len(instances))[:n_keep]
             instances = [instances[int(i)] for i in sorted(idx)]
-        dataset = collect_branch_dataset(self.llm, instances)
+        traces = (
+            pool.map_ordered(self.llm.teacher_forced_trace, instances)
+            if pool is not None
+            else None
+        )
+        dataset = collect_branch_dataset(self.llm, instances, traces=traces)
         self._branch_datasets[task] = dataset
         self._mbpps[task] = MultiLayerBPP.train(
             dataset,
@@ -79,7 +86,10 @@ class RTSPipeline:
         return self
 
     def fit_benchmark(
-        self, benchmark: Benchmark, tasks: "tuple[str, ...]" = (TABLE_TASK, COLUMN_TASK)
+        self,
+        benchmark: Benchmark,
+        tasks: "tuple[str, ...]" = (TABLE_TASK, COLUMN_TASK),
+        pool=None,
     ) -> "RTSPipeline":
         """Convenience: fit per-task mBPPs from a benchmark's train split."""
         for task in tasks:
@@ -87,8 +97,19 @@ class RTSPipeline:
                 self.instance_for(example, benchmark, task)
                 for example in benchmark.train
             ]
-            self.fit_task(task, instances)
+            self.fit_task(task, instances, pool=pool)
         return self
+
+    def batch(self, workers: int = 1, backend: str = "thread", artifact=None):
+        """A :class:`~repro.runtime.runner.BatchRunner` over this pipeline.
+
+        All bulk evaluation (experiment tables, figures, sweeps, the
+        ``repro-run`` CLI) goes through the returned runner rather than
+        hand-rolled per-example loops.
+        """
+        from repro.runtime.runner import BatchRunner  # local: avoids cycle
+
+        return BatchRunner(self, workers=workers, backend=backend, artifact=artifact)
 
     @staticmethod
     def instance_for(

@@ -13,7 +13,7 @@ the spread of professional domains BIRD advertises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.schema.column import ColumnType
 

@@ -9,13 +9,13 @@ materialization and question generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.corpus.domains import ALL_DOMAINS, DomainSpec, TableSpec
 from repro.corpus.values import draw_value
-from repro.schema.column import Column, ColumnType
+from repro.schema.column import Column
 from repro.schema.database import Database
 from repro.schema.naming import NamingStyle, rename_database
 from repro.schema.table import ForeignKey, Table

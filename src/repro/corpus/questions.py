@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.corpus.dataset import DIFFICULTIES, Example, InstanceFeatures
+from repro.corpus.dataset import Example, InstanceFeatures
 from repro.corpus.generator import PopulatedDatabase
 from repro.corpus.sqlast import (
     ColumnRef,

@@ -12,7 +12,7 @@ scalar subqueries in comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 __all__ = [

@@ -12,7 +12,6 @@ from __future__ import annotations
 from repro.core.config import RTSConfig
 from repro.core.pipeline import RTSPipeline
 from repro.experiments.common import ExperimentContext, ExperimentResult
-from repro.linking.dataset import collect_branch_dataset
 from repro.probes.metrics import evaluate_bpp
 
 
@@ -22,9 +21,10 @@ def _eval_config(ctx: ExperimentContext, config: RTSConfig, task: str = "table")
     instances = [
         RTSPipeline.instance_for(e, bench, task) for e in bench.train
     ]
-    pipe.fit_task(task, instances)
-    dev = [RTSPipeline.instance_for(e, bench, task) for e in bench.dev]
-    dataset = collect_branch_dataset(ctx.llm, dev)
+    pipe.fit_task(task, instances, pool=ctx.pool)
+    # The dev-split D_branch is identical across all ablation variants,
+    # so it comes from the context's memoized batch collection.
+    dataset = ctx.branch_dataset("bird", "dev", task)
     return evaluate_bpp(pipe.mbpp(task), dataset)
 
 

@@ -1,26 +1,34 @@
 """Shared experiment infrastructure.
 
 :class:`ExperimentContext` memoizes the expensive artifacts — benchmarks,
-the simulated LLM, fitted RTS pipelines, surrogate filters, joint linking
-outcomes — so the thirteen experiment runners can share them within one
-process (the report runner and the benchmark suite rely on this).
+the simulated LLM, fitted RTS pipelines, surrogate filters, branch
+datasets, linking outcomes — so the thirteen experiment runners can share
+them within one process (the report runner and the benchmark suite rely
+on this). All bulk evaluation routes through the
+:class:`~repro.runtime.runner.BatchRunner` returned by :meth:`runner`,
+and the LLM is wrapped in a :class:`~repro.runtime.cache.CachingLLM` so
+repeated generations across tables/figures are computed once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.abstention.human import BEGINNER, EXPERT, HumanOracle, HumanProfile
+from repro.abstention.human import EXPERT, HumanOracle, HumanProfile
 from repro.abstention.surrogate import SurrogateFilter
 from repro.corpus.bird import BirdBuilder
 from repro.corpus.dataset import Benchmark
 from repro.corpus.generator import CorpusScale
 from repro.corpus.spider import SpiderBuilder
-from repro.core.config import RTSConfig
+from repro.core.config import ABSTAIN, RTSConfig
 from repro.core.pipeline import RTSPipeline
-from repro.core.results import JointOutcome
+from repro.core.results import JointOutcome, LinkOutcome
+from repro.linking.dataset import BranchDataset
 from repro.linking.instance import SchemaLinkingInstance
 from repro.llm.model import TransparentLLM
+from repro.runtime.cache import CachingLLM
+from repro.runtime.pool import THREAD, WorkerPool
+from repro.runtime.runner import BatchRunner
 from repro.utils.tabulate import render_table
 
 __all__ = ["ExperimentContext", "ExperimentResult", "DATASETS"]
@@ -91,29 +99,44 @@ class ExperimentContext:
         llm_seed: int = 11,
         rts_seed: int = 3,
         scale: "CorpusScale | None" = None,
+        workers: int = 1,
+        backend: str = THREAD,
     ):
         self.corpus_seed = corpus_seed
         self.llm_seed = llm_seed
         self.rts_seed = rts_seed
         self.scale = scale or CorpusScale.small()
+        self.workers = workers
+        self.backend = backend
         self._benchmarks: dict[str, Benchmark] = {}
         self._pipelines: dict[str, RTSPipeline] = {}
         self._surrogates: dict[str, SurrogateFilter] = {}
+        self._runners: dict[str, BatchRunner] = {}
+        self._branch_datasets: dict[tuple, BranchDataset] = {}
+        self._link: dict[tuple, list[LinkOutcome]] = {}
         self._joint: dict[tuple, list[JointOutcome]] = {}
-        self._llm: "TransparentLLM | None" = None
+        self._llm: "CachingLLM | None" = None
+        self._pool: "WorkerPool | None" = None
 
     @classmethod
-    def tiny(cls) -> "ExperimentContext":
+    def tiny(cls, workers: int = 1) -> "ExperimentContext":
         """A fast context for tests and benchmark timing."""
-        return cls(scale=CorpusScale.tiny())
+        return cls(scale=CorpusScale.tiny(), workers=workers)
 
     # -- artifacts ----------------------------------------------------------
 
     @property
-    def llm(self) -> TransparentLLM:
+    def llm(self) -> CachingLLM:
         if self._llm is None:
-            self._llm = TransparentLLM(seed=self.llm_seed)
+            self._llm = CachingLLM(TransparentLLM(seed=self.llm_seed))
         return self._llm
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The shared worker pool (serial unless ``workers > 1``)."""
+        if self._pool is None:
+            self._pool = WorkerPool(workers=self.workers, backend=self.backend)
+        return self._pool
 
     def benchmark(self, name: str) -> Benchmark:
         if name not in self._benchmarks:
@@ -127,9 +150,17 @@ class ExperimentContext:
     def pipeline(self, name: str) -> RTSPipeline:
         if name not in self._pipelines:
             pipe = RTSPipeline(self.llm, RTSConfig(seed=self.rts_seed))
-            pipe.fit_benchmark(self.benchmark(name))
+            pipe.fit_benchmark(self.benchmark(name), pool=self.pool)
             self._pipelines[name] = pipe
         return self._pipelines[name]
+
+    def runner(self, name: str) -> BatchRunner:
+        """The batch runner every bulk evaluation routes through."""
+        if name not in self._runners:
+            self._runners[name] = self.pipeline(name).batch(
+                workers=self.workers, backend=self.backend
+            )
+        return self._runners[name]
 
     def surrogate(self, name: str) -> SurrogateFilter:
         if name not in self._surrogates:
@@ -151,6 +182,32 @@ class ExperimentContext:
     def human(self, profile: HumanProfile = EXPERT, seed: int = 9) -> HumanOracle:
         return HumanOracle(profile, seed=seed)
 
+    def branch_dataset(self, name: str, split: str, task: str) -> BranchDataset:
+        """Memoized D_branch over one split — shared by the figure sweeps."""
+        key = (name, split, task)
+        if key not in self._branch_datasets:
+            self._branch_datasets[key] = self.runner(name).branch_dataset(
+                self.instances(name, split, task)
+            )
+        return self._branch_datasets[key]
+
+    def link_outcomes(
+        self, name: str, split: str, task: str, mode: str = ABSTAIN
+    ) -> "list[LinkOutcome]":
+        """Memoized per-task linking sweep via the batch runner."""
+        key = (name, split, task, mode)
+        if key not in self._link:
+            surrogate = self.surrogate(name) if mode == "surrogate" else None
+            human = self.human() if mode == "human" else None
+            result = self.runner(name).run_link(
+                self.instances(name, split, task),
+                mode=mode,
+                surrogate=surrogate,
+                human=human,
+            )
+            self._link[key] = result.outcomes
+        return self._link[key]
+
     def joint_outcomes(
         self,
         name: str,
@@ -161,13 +218,12 @@ class ExperimentContext:
         key = (name, split, profile.name, limit)
         if key not in self._joint:
             bench = self.benchmark(name)
-            pipe = self.pipeline(name)
             human = self.human(profile)
             examples = list(bench.split(split))
             if limit is not None:
                 examples = examples[:limit]
-            self._joint[key] = [
-                pipe.link_joint(e, bench, mode="human", human=human)
-                for e in examples
-            ]
+            result = self.runner(name).run_joint(
+                examples, bench, mode="human", human=human
+            )
+            self._joint[key] = result.outcomes
         return self._joint[key]

@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentContext, ExperimentResult
-from repro.linking.dataset import collect_branch_dataset
 from repro.utils.stats import histogram
 
 
@@ -21,14 +20,13 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     instances = ctx.instances("bird", "dev", "table")
     correct_probs: list[float] = []
     branch_probs: list[float] = []
-    for instance in instances:
-        trace = ctx.llm.teacher_forced_trace(instance)
+    for trace in ctx.runner("bird").teacher_forced_traces(instances):
         for step in trace.steps:
             if step.is_branching:
                 branch_probs.append(step.max_prob)
             else:
                 correct_probs.append(step.max_prob)
-    dataset = collect_branch_dataset(ctx.llm, instances)
+    dataset = ctx.branch_dataset("bird", "dev", "table")
     counts = dataset.branching_counts_per_generation()
     erroneous = counts[counts > 0]
     hist = np.bincount(erroneous, minlength=4)
@@ -66,8 +64,8 @@ def probability_histograms(ctx: ExperimentContext, bins: int = 12):
     """The raw Figure 3a histograms (used by the plotting example)."""
     instances = ctx.instances("bird", "dev", "table")
     correct, branch = [], []
-    for instance in instances:
-        for step in ctx.llm.teacher_forced_trace(instance).steps:
+    for trace in ctx.runner("bird").teacher_forced_traces(instances):
+        for step in trace.steps:
             (branch if step.is_branching else correct).append(step.max_prob)
     return (
         histogram(np.array(correct), bins=bins, lo=0.8, hi=1.0),

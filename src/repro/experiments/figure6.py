@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from repro.conformal.aggregate import majority_guarantee
 from repro.experiments.common import ExperimentContext, ExperimentResult
-from repro.linking.dataset import collect_branch_dataset
 from repro.probes.metrics import evaluate_bpp
 
 ALPHAS = (0.02, 0.05, 0.10, 0.15, 0.20, 0.30)
@@ -20,8 +19,7 @@ ALPHAS = (0.02, 0.05, 0.10, 0.15, 0.20, 0.30)
 def sweep(ctx: ExperimentContext, task: str, alphas=ALPHAS) -> list[list]:
     """(alpha, coverage, EAR, guarantee) rows for one task."""
     pipe = ctx.pipeline("bird")
-    instances = ctx.instances("bird", "dev", task)
-    dataset = collect_branch_dataset(ctx.llm, instances)
+    dataset = ctx.branch_dataset("bird", "dev", task)
     base = pipe.mbpp(task)
     rows = []
     for alpha in alphas:

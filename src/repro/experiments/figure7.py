@@ -7,14 +7,12 @@ in k; majority voting degrades as low-AUC probes join the committee.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentContext, ExperimentResult
-from repro.linking.dataset import collect_branch_dataset
 from repro.probes.metrics import evaluate_bpp
 
 
 def sweep(ctx: ExperimentContext, method: str, ks=None) -> list[list]:
     pipe = ctx.pipeline("bird")
-    instances = ctx.instances("bird", "dev", "table")
-    dataset = collect_branch_dataset(ctx.llm, instances)
+    dataset = ctx.branch_dataset("bird", "dev", "table")
     base = pipe.mbpp("table")
     n = len(base.all_probes)
     ks = ks or [1, 3, 5, 7, 9, n]

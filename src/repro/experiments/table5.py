@@ -28,13 +28,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     for method, mode in (("mBPP-Abstention", "abstain"), ("Surrogate filter", "surrogate")):
         for task, label in (("table", "Table"), ("column", "Column")):
             for display, name, split in DATASETS:
-                pipe = ctx.pipeline(name)
-                surrogate = ctx.surrogate(name) if mode == "surrogate" else None
-                outcomes = [
-                    pipe.link(inst, mode=mode, surrogate=surrogate)
-                    for inst in ctx.instances(name, split, task)
-                ]
-                report = build_report(outcomes)
+                report = build_report(ctx.link_outcomes(name, split, task, mode))
                 em, tar, far = report.as_row()
                 rows.append([method, label, display, em, tar, far])
                 pem, ptar, pfar = PAPER[(method, label, display)]

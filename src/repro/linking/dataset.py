@@ -94,14 +94,23 @@ class BranchDataset:
 def collect_branch_dataset(
     llm: TransparentLLM,
     instances: "list[SchemaLinkingInstance]",
+    traces: "list | None" = None,
 ) -> BranchDataset:
-    """Run teacher-forced generation over ``instances`` and collect tokens."""
+    """Run teacher-forced generation over ``instances`` and collect tokens.
+
+    ``traces`` optionally supplies pre-computed teacher-forced traces
+    aligned with ``instances`` (e.g. fanned out by a
+    :class:`~repro.runtime.runner.BatchRunner`); assembly is identical
+    either way.
+    """
+    if traces is not None and len(traces) != len(instances):
+        raise ValueError("traces must align one-to-one with instances")
     hidden_blocks: list[np.ndarray] = []
     labels: list[bool] = []
     groups: list[int] = []
     ids: list[str] = []
     for idx, instance in enumerate(instances):
-        trace = llm.teacher_forced_trace(instance)
+        trace = traces[idx] if traces is not None else llm.teacher_forced_trace(instance)
         ids.append(instance.instance_id)
         for step in trace.steps:
             hidden_blocks.append(step.hidden)

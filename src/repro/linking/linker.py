@@ -7,7 +7,7 @@ baseline whose Table 2 numbers RTS improves on by abstaining.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.linking.instance import SchemaLinkingInstance
 from repro.linking.metrics import LinkingMetrics, evaluate_linking

@@ -14,7 +14,7 @@ only because its instances measure worse on these features.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from repro.linking.instance import (
     SchemaLinkingInstance,
     parse_column_item,
 )
-from repro.utils.rng import spawn, stable_hash
+from repro.utils.rng import spawn
 from repro.utils.text import split_identifier
 
 __all__ = ["ErrorEvent", "ErrorModelConfig", "error_propensity", "plan_errors"]

@@ -23,11 +23,11 @@ so traces are bit-reproducible.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.rng import spawn, stable_hash
+from repro.utils.rng import spawn
 
 __all__ = ["HiddenConfig", "HiddenStateSynthesizer"]
 

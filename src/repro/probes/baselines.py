@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.linking.dataset import BranchDataset
 from repro.linking.instance import SchemaLinkingInstance
 from repro.llm.model import TransparentLLM
 from repro.probes.metrics import BPPEvaluation, coverage_and_ear

@@ -10,7 +10,6 @@ aggregated set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -7,7 +7,6 @@ non-exchangeable KNN-weighted variant on request).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,50 @@
+"""Batched evaluation runtime.
+
+The experiment tables and figures all reduce to fanning a fitted
+:class:`~repro.core.pipeline.RTSPipeline` out over a benchmark split.
+This package provides the shared substrate for doing that at scale:
+
+* :mod:`repro.runtime.pool` — one `WorkerPool` abstraction over serial,
+  thread-pool and process-pool execution with order-preserving maps;
+* :mod:`repro.runtime.cache` — a keyed generation cache so repeated
+  ``llm.generate`` / ``teacher_forced_trace`` calls (unassisted
+  baselines, joint passes, ablation sweeps) are computed once;
+* :mod:`repro.runtime.artifacts` — JSONL run artifacts with resumable
+  checkpoints and aggregate TAR/FAR/abstention summaries;
+* :mod:`repro.runtime.runner` — the `BatchRunner` that ties them
+  together;
+* :mod:`repro.runtime.cli` — the ``repro-run`` console entry point.
+
+Every path is deterministic: a batch run with ``workers=4`` produces
+byte-identical aggregate metrics to the serial fallback because all
+randomness in the library is derived from named streams, never from
+execution order.
+"""
+
+from repro.runtime.artifacts import (
+    RunArtifact,
+    link_record,
+    summarize_joint,
+    summarize_link,
+)
+from repro.runtime.cache import CacheStats, CachingLLM, GenerationCache, instance_key
+from repro.runtime.pool import BACKENDS, PROCESS, SERIAL, THREAD, WorkerPool
+from repro.runtime.runner import BatchResult, BatchRunner
+
+__all__ = [
+    "BACKENDS",
+    "BatchResult",
+    "BatchRunner",
+    "CacheStats",
+    "CachingLLM",
+    "GenerationCache",
+    "PROCESS",
+    "RunArtifact",
+    "SERIAL",
+    "THREAD",
+    "WorkerPool",
+    "instance_key",
+    "link_record",
+    "summarize_joint",
+    "summarize_link",
+]

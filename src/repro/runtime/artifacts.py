@@ -1,0 +1,244 @@
+"""Run artifacts: streamed JSONL records with resumable checkpoints.
+
+A batch run appends one JSON line per evaluated example as soon as its
+outcome is known, so an interrupted sweep loses at most the in-flight
+examples. Re-running against the same artifact path loads the completed
+records first (tolerating a truncated final line from a hard kill) and
+only evaluates what is missing.
+
+Aggregates use the same TAR / FAR / EM accounting as the paper tables
+(:func:`repro.core.results.build_report`), serialized next to the
+records as ``<artifact>.summary.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.core.results import JointOutcome, LinkOutcome, build_report
+from repro.linking.instance import SchemaLinkingInstance
+from repro.runtime.cache import instance_key
+
+__all__ = [
+    "RunArtifact",
+    "link_record",
+    "link_outcome_from_record",
+    "joint_record",
+    "joint_outcome_from_record",
+    "summarize_link",
+    "summarize_joint",
+    "strict_jsonable",
+]
+
+
+def strict_jsonable(obj):
+    """NaN/Inf → None, recursively: summaries must be strict JSON.
+
+    ``json.dumps`` happily emits bare ``NaN``, which downstream strict
+    parsers (jq, browsers, most non-Python tooling) reject.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: strict_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [strict_jsonable(v) for v in obj]
+    return obj
+
+
+# -- record (de)serialization -------------------------------------------------
+
+
+def link_record(outcome: LinkOutcome) -> dict:
+    """A JSON-able record of one :class:`LinkOutcome` (sans instance).
+
+    The runner adds the artifact-level ``"key"`` (which also encodes the
+    mitigation mode); ``"instance_key"`` pins the generation input so a
+    record can never be rehydrated against the wrong instance.
+    """
+    return {
+        "instance_key": instance_key(outcome.instance),
+        "instance_id": outcome.instance.instance_id,
+        "predicted": list(outcome.predicted) if outcome.predicted is not None else None,
+        "unassisted": list(outcome.unassisted),
+        "abstained": outcome.abstained,
+        "flags": outcome.flags,
+        "interventions": outcome.interventions,
+        "questions_asked": outcome.questions_asked,
+        "swaps": [list(pair) for pair in outcome.swaps],
+    }
+
+
+def link_outcome_from_record(
+    record: dict, instance: SchemaLinkingInstance
+) -> LinkOutcome:
+    """Rehydrate a :class:`LinkOutcome` against its original instance."""
+    if record["instance_key"] != instance_key(instance):
+        raise ValueError(
+            f"record {record['instance_key']!r} does not match instance "
+            f"{instance_key(instance)!r}"
+        )
+    predicted = record["predicted"]
+    return LinkOutcome(
+        instance=instance,
+        predicted=tuple(predicted) if predicted is not None else None,
+        unassisted=tuple(record["unassisted"]),
+        abstained=bool(record["abstained"]),
+        flags=int(record["flags"]),
+        interventions=int(record["interventions"]),
+        questions_asked=int(record["questions_asked"]),
+        swaps=[tuple(pair) for pair in record["swaps"]],
+    )
+
+
+def joint_record(outcome: JointOutcome) -> dict:
+    """A JSON-able record of one :class:`JointOutcome` (self-contained)."""
+    return {
+        "example_id": outcome.example_id,
+        "tables": list(outcome.tables) if outcome.tables is not None else None,
+        "columns": list(outcome.columns) if outcome.columns is not None else None,
+        "gold_tables": list(outcome.gold_tables),
+        "gold_columns": list(outcome.gold_columns),
+        "abstained": outcome.abstained,
+        "signalled": outcome.signalled,
+        "unassisted_tables_correct": outcome.unassisted_tables_correct,
+        "unassisted_columns_correct": outcome.unassisted_columns_correct,
+    }
+
+
+def joint_outcome_from_record(record: dict) -> JointOutcome:
+    tables = record["tables"]
+    columns = record["columns"]
+    return JointOutcome(
+        example_id=record["example_id"],
+        tables=tuple(tables) if tables is not None else None,
+        columns=tuple(columns) if columns is not None else None,
+        gold_tables=tuple(record["gold_tables"]),
+        gold_columns=tuple(record["gold_columns"]),
+        abstained=bool(record["abstained"]),
+        signalled=bool(record["signalled"]),
+        unassisted_tables_correct=bool(record["unassisted_tables_correct"]),
+        unassisted_columns_correct=bool(record["unassisted_columns_correct"]),
+    )
+
+
+# -- aggregate summaries ------------------------------------------------------
+
+
+def summarize_link(outcomes: "list[LinkOutcome]") -> dict:
+    """Aggregate EM / TAR / FAR / abstention metrics over link outcomes."""
+    report = build_report(outcomes)
+    return {
+        "n": report.n,
+        "n_answered": report.n_answered,
+        "n_abstained": sum(1 for o in outcomes if o.abstained),
+        "n_signalled": sum(1 for o in outcomes if o.signalled),
+        "em": report.em,
+        "tar": report.tar,
+        "far": report.far,
+        "abstention_rate": report.abstention_rate,
+        "precision": report.precision,
+        "recall": report.recall,
+    }
+
+
+def summarize_joint(outcomes: "list[JointOutcome]") -> dict:
+    """Aggregate Table-6-style metrics over joint outcomes."""
+    n = len(outcomes)
+    if not n:
+        return {
+            "n": 0,
+            "n_abstained": 0,
+            "n_signalled": 0,
+            "table_em": float("nan"),
+            "column_em": float("nan"),
+            "tar": float("nan"),
+            "far": float("nan"),
+        }
+    return {
+        "n": n,
+        "n_abstained": sum(1 for o in outcomes if o.abstained),
+        "n_signalled": sum(1 for o in outcomes if o.signalled),
+        "table_em": sum(o.tables_correct for o in outcomes) / n,
+        "column_em": sum(o.columns_correct for o in outcomes) / n,
+        "tar": sum(1 for o in outcomes if o.signalled and not o.unassisted_correct) / n,
+        "far": sum(1 for o in outcomes if o.signalled and o.unassisted_correct) / n,
+    }
+
+
+# -- the artifact itself ------------------------------------------------------
+
+
+class RunArtifact:
+    """Append-only JSONL record stream with checkpoint/resume semantics.
+
+    Each line is one record dict carrying a unique ``"key"``. A partial
+    final line (the process died mid-write) is silently dropped on load,
+    and the file is truncated back to its last complete record before
+    appending resumes — so a crashed run can always be continued.
+    """
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self._handle = None
+
+    @property
+    def summary_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".summary.json")
+
+    def load_records(self) -> "dict[str, dict]":
+        """Completed records keyed by ``record["key"]`` (resume state)."""
+        if not self.path.exists():
+            return {}
+        records: dict[str, dict] = {}
+        kept = 0
+        # Binary mode: ``kept`` must be an exact byte offset (universal
+        # newlines would silently shrink it on \r\n files and truncate()
+        # would then cut into the last valid record).
+        with self.path.open("rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # truncated tail from an interrupted write
+                stripped = line.strip()
+                if not stripped:
+                    kept += len(line)
+                    continue
+                try:
+                    record = json.loads(stripped.decode("utf8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break  # corrupt tail; drop it and everything after
+                records[record["key"]] = record
+                kept += len(line)
+        if kept < self.path.stat().st_size:
+            with self.path.open("r+b") as handle:
+                handle.truncate(kept)
+        return records
+
+    def append(self, record: dict) -> None:
+        """Write one record and flush, so checkpoints survive a kill."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # newline="\n" pins the record terminator across platforms so
+            # byte offsets in load_records stay exact.
+            self._handle = self.path.open("a", encoding="utf8", newline="\n")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def write_summary(self, summary: dict) -> None:
+        self.summary_path.parent.mkdir(parents=True, exist_ok=True)
+        self.summary_path.write_text(
+            json.dumps(strict_jsonable(summary), indent=2, sort_keys=True)
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunArtifact":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,162 @@
+"""Keyed generation cache for the simulated LLM.
+
+Bulk evaluation repeats the same generations many times over: every
+``RTSPipeline.link`` call regenerates the unassisted baseline, the joint
+table→column pass regenerates the free-running column trace, and the
+figure/ablation sweeps re-collect teacher-forced traces for the same
+instances under every variant. All of those calls are deterministic pure
+functions of (model seed, instance), so they are computed once and
+cached here.
+
+The cache key must capture the full generation input: ``instance_id``
+alone is not enough because joint linking builds *different* column
+instances with the same id (the candidate universe depends on the
+predicted tables), so the key also hashes task, candidates and gold
+items.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.linking.instance import SchemaLinkingInstance
+from repro.llm.model import GenerationSession, GenerationTrace, TransparentLLM
+from repro.utils.rng import stable_hash
+
+__all__ = ["instance_key", "CacheStats", "GenerationCache", "CachingLLM"]
+
+
+def instance_key(instance: SchemaLinkingInstance) -> str:
+    """A stable, collision-resistant identity for one generation input."""
+    digest = stable_hash(instance.task, instance.candidates, instance.gold_items)
+    return f"{instance.instance_id}#{digest:016x}"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
+
+class GenerationCache:
+    """A thread-safe keyed memo table with hit/miss accounting.
+
+    Values are treated as immutable by convention (generation traces are
+    never mutated after the session finishes), so a cached value may be
+    shared freely across threads. Two threads racing on the same missing
+    key may both compute it — the value is deterministic, so the second
+    store is a harmless overwrite and both computations are counted as
+    misses.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict = {}
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses)
+
+    def get_or_compute(self, key, compute: Callable[[], object]):
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                return self._data[key]
+            self._misses += 1
+        value = compute()  # computed outside the lock: misses run in parallel
+        with self._lock:
+            self._data[key] = value
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # Locks are not picklable; a cache shipped to a worker process starts
+    # cold (per-process hits simply do not propagate back to the parent).
+    def __getstate__(self) -> dict:
+        return {"_data": dict(self._data), "_hits": self._hits, "_misses": self._misses}
+
+    def __setstate__(self, state: dict) -> None:
+        self._data = state["_data"]
+        self._hits = state["_hits"]
+        self._misses = state["_misses"]
+        self._lock = threading.Lock()
+
+
+class CachingLLM:
+    """A :class:`TransparentLLM` wrapper that memoizes whole generations.
+
+    ``generate`` (free running) and ``teacher_forced_trace`` (the §3.1
+    label-collection protocol) are cached per instance; token-by-token
+    sessions are inherently stateful and always start fresh. The wrapper
+    is a drop-in replacement anywhere a ``TransparentLLM`` is expected.
+    """
+
+    def __init__(self, llm: TransparentLLM, cache: "GenerationCache | None" = None):
+        self.llm = llm
+        self.cache = cache if cache is not None else GenerationCache()
+
+    # -- delegated surface ---------------------------------------------------
+
+    @property
+    def config(self):
+        return self.llm.config
+
+    @property
+    def seed(self) -> int:
+        return self.llm.seed
+
+    @property
+    def hidden(self):
+        return self.llm.hidden
+
+    @property
+    def n_layers(self) -> int:
+        return self.llm.n_layers
+
+    def plan(self, instance: SchemaLinkingInstance):
+        return self.llm.plan(instance)
+
+    def start_session(self, instance: SchemaLinkingInstance) -> GenerationSession:
+        return self.llm.start_session(instance)
+
+    # -- cached generation ---------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def generate(self, instance: SchemaLinkingInstance) -> GenerationTrace:
+        key = ("free", instance_key(instance))
+        return self.cache.get_or_compute(key, lambda: self.llm.generate(instance))
+
+    def teacher_forced_trace(
+        self, instance: SchemaLinkingInstance
+    ) -> GenerationTrace:
+        key = ("forced", instance_key(instance))
+        return self.cache.get_or_compute(
+            key, lambda: self.llm.teacher_forced_trace(instance)
+        )

@@ -1,0 +1,137 @@
+"""``repro-run`` — batched evaluation sweeps from the command line.
+
+Examples
+--------
+Link-level sweep with four threads, streaming a resumable artifact::
+
+    repro-run --benchmark bird --split dev --task table --mode abstain \
+        --workers 4 --artifact out/bird-table.jsonl
+
+Joint table→column sweep with the expert human in the loop::
+
+    repro-run --benchmark spider --split test --joint --mode human
+
+Interrupt either run and re-issue the same command: completed examples
+are loaded from the artifact and only the remainder is evaluated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.config import ABSTAIN, HUMAN, MITIGATION_MODES, SURROGATE
+from repro.corpus.generator import CorpusScale
+from repro.experiments.common import ExperimentContext
+from repro.runtime.artifacts import strict_jsonable
+from repro.runtime.pool import BACKENDS, THREAD, default_workers
+
+__all__ = ["build_parser", "main"]
+
+SCALES = ("tiny", "small")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Batched RTS evaluation over a benchmark split.",
+    )
+    parser.add_argument("--benchmark", choices=("bird", "spider"), default="bird")
+    parser.add_argument("--split", choices=("train", "dev", "test"), default="dev")
+    parser.add_argument(
+        "--task",
+        choices=("table", "column"),
+        default="table",
+        help="linking task for per-task sweeps (ignored with --joint)",
+    )
+    parser.add_argument(
+        "--joint",
+        action="store_true",
+        help="run the joint table->column pipeline instead of one task",
+    )
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return parsed
+
+    parser.add_argument("--mode", choices=sorted(MITIGATION_MODES), default=ABSTAIN)
+    parser.add_argument("--workers", type=positive_int, default=default_workers())
+    parser.add_argument("--backend", choices=BACKENDS, default=THREAD)
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="small",
+        help="synthetic corpus scale (tiny is the test/CI size)",
+    )
+    parser.add_argument(
+        "--limit", type=positive_int, default=None, help="cap example count"
+    )
+    parser.add_argument(
+        "--artifact",
+        default=None,
+        help="JSONL path for streamed per-example records (enables resume)",
+    )
+    parser.add_argument("--corpus-seed", type=int, default=7)
+    parser.add_argument("--llm-seed", type=int, default=11)
+    parser.add_argument("--rts-seed", type=int, default=3)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = CorpusScale.tiny() if args.scale == "tiny" else CorpusScale.small()
+    ctx = ExperimentContext(
+        corpus_seed=args.corpus_seed,
+        llm_seed=args.llm_seed,
+        rts_seed=args.rts_seed,
+        scale=scale,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    benchmark = ctx.benchmark(args.benchmark)
+    runner = ctx.runner(args.benchmark)
+    surrogate = ctx.surrogate(args.benchmark) if args.mode == SURROGATE else None
+    human = ctx.human() if args.mode == HUMAN else None
+
+    if args.joint:
+        examples = list(benchmark.split(args.split))[: args.limit]
+        result = runner.run_joint(
+            examples,
+            benchmark,
+            mode=args.mode,
+            surrogate=surrogate,
+            human=human,
+            artifact=args.artifact,
+        )
+    else:
+        instances = ctx.instances(args.benchmark, args.split, args.task)[: args.limit]
+        result = runner.run_link(
+            instances,
+            mode=args.mode,
+            surrogate=surrogate,
+            human=human,
+            artifact=args.artifact,
+        )
+
+    payload = {
+        "benchmark": args.benchmark,
+        "split": args.split,
+        "task": "joint" if args.joint else args.task,
+        "mode": args.mode,
+        "workers": runner.pool.workers,
+        "backend": runner.pool.backend,
+        "n_resumed": result.n_resumed,
+        "n_evaluated": result.n_evaluated,
+        "summary": result.summary,
+    }
+    if result.cache_stats is not None:
+        payload["generation_cache"] = result.cache_stats.as_dict()
+    json.dump(strict_jsonable(payload), sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -9,7 +9,7 @@ provides these; they may be missing, which raises linking difficulty).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["ColumnType", "Column"]
 

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.schema.column import Column
-from repro.schema.table import ForeignKey, Table
+from repro.schema.table import Table
 
 __all__ = ["Database"]
 

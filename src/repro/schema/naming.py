@@ -17,7 +17,7 @@ import numpy as np
 from repro.schema.column import Column
 from repro.schema.database import Database
 from repro.schema.table import ForeignKey, Table
-from repro.utils.text import abbreviate, to_camel_case, to_pascal_case, to_snake_case
+from repro.utils.text import abbreviate, to_camel_case, to_snake_case
 
 __all__ = ["NamingStyle", "rename_database", "dirty_name", "clean_name"]
 

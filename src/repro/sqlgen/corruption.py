@@ -16,8 +16,6 @@ import numpy as np
 
 from repro.corpus.sqlast import (
     ColumnRef,
-    Condition,
-    OrderTerm,
     SelectItem,
     SelectQuery,
     Subquery,

@@ -57,6 +57,11 @@ def rts_schema_provider(
     return provide
 
 
+def _generate_one(generator: SqlGenerator, work: "tuple[Example, Database]") -> str:
+    example, provided = work
+    return generator.generate(example, provided)
+
+
 def evaluate_text2sql(
     benchmark: Benchmark,
     split: str,
@@ -64,18 +69,31 @@ def evaluate_text2sql(
     profile: ModelProfile,
     seed: int = 0,
     limit: "int | None" = None,
+    pool=None,
 ) -> ExecutionReport:
-    """Generate SQL for every example of a split and measure EX."""
+    """Generate SQL for every example of a split and measure EX.
+
+    ``pool`` optionally fans generation out over a
+    :class:`~repro.runtime.pool.WorkerPool` (generation is deterministic
+    per example, so results are order-independent); SQL execution stays
+    serial because sqlite connections are not shareable across threads.
+    """
     generator = SqlGenerator(profile, seed=seed)
     evaluator = ExecutionEvaluator(benchmark.databases)
     examples = list(benchmark.split(split))
     if limit is not None:
         examples = examples[:limit]
-    pairs = []
-    for example in examples:
-        db = benchmark.database(example.db_id).schema
-        provided = provider(example, db)
-        pairs.append((example, generator.generate(example, provided)))
+    work = [
+        (example, provider(example, benchmark.database(example.db_id).schema))
+        for example in examples
+    ]
+    if pool is not None:
+        from functools import partial
+
+        queries = pool.map_ordered(partial(_generate_one, generator), work)
+    else:
+        queries = [_generate_one(generator, item) for item in work]
+    pairs = list(zip(examples, queries))
     report = evaluator.evaluate(pairs)
     evaluator.close()
     return report

@@ -1,0 +1,103 @@
+"""Importable test helpers: hand-built schemas and instances.
+
+These used to live in ``tests/conftest.py``, but test modules importing
+them via ``from conftest import ...`` resolved *whichever* conftest got
+onto ``sys.path`` first — ``benchmarks/conftest.py`` when both trees
+were collected — and collection exploded. A plainly-named module keeps
+the import unambiguous; ``conftest.py`` re-exports the same builders as
+fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.dataset import InstanceFeatures
+from repro.linking.instance import SchemaLinkingInstance
+from repro.schema.column import Column, ColumnType
+from repro.schema.database import Database
+from repro.schema.table import ForeignKey, Table
+
+__all__ = ["make_column", "make_racing_db", "make_instance"]
+
+
+def make_column(name: str, ctype=ColumnType.INTEGER, pk=False, words=None, pool="generic"):
+    return Column(
+        name=name,
+        ctype=ctype,
+        semantic_words=tuple(words or name.split("_")),
+        is_primary=pk,
+        value_pool=pool,
+    )
+
+
+def make_racing_db() -> Database:
+    """A hand-built 4-table schema used across LLM/session tests."""
+    races = Table(
+        name="races",
+        semantic_words=("races",),
+        columns=(
+            make_column("race_id", pk=True, pool="serial"),
+            make_column("race_name", ColumnType.TEXT, words=["race", "name"], pool="word"),
+            make_column("season_year", pool="year:2000..2020"),
+        ),
+    )
+    drivers = Table(
+        name="drivers",
+        semantic_words=("drivers",),
+        columns=(
+            make_column("driver_id", pk=True, pool="serial"),
+            make_column("surname", ColumnType.TEXT, words=["surname"], pool="person_last"),
+        ),
+    )
+    lap_times = Table(
+        name="lap_times",
+        semantic_words=("lap", "times"),
+        columns=(
+            make_column("lap_id", pk=True, pool="serial"),
+            make_column("race_id", pool="serial"),
+            make_column("driver_id", pool="serial"),
+            make_column("lap_milliseconds", words=["lap", "milliseconds"], pool="int:60000..120000"),
+        ),
+        foreign_keys=(
+            ForeignKey("race_id", "races", "race_id"),
+            ForeignKey("driver_id", "drivers", "driver_id"),
+        ),
+    )
+    pit_stops = Table(
+        name="pit_stops",
+        semantic_words=("pit", "stops"),
+        columns=(
+            make_column("stop_id", pk=True, pool="serial"),
+            make_column("race_id", pool="serial"),
+            make_column("stop_milliseconds", words=["stop", "milliseconds"], pool="int:19000..40000"),
+        ),
+        foreign_keys=(ForeignKey("race_id", "races", "race_id"),),
+    )
+    return Database(name="racing_test", tables=(races, drivers, lap_times, pit_stops))
+
+
+def make_instance(
+    db: Database,
+    gold: tuple[str, ...],
+    task: str = "table",
+    instance_id: str = "t1/table",
+    difficulty: str = "simple",
+) -> SchemaLinkingInstance:
+    features = InstanceFeatures(
+        table_ambiguity=0.0,
+        column_ambiguity=0.0,
+        dirty_gap=0.0,
+        needs_knowledge=False,
+        n_tables=len(db.tables),
+        n_gold_tables=len(gold),
+        n_gold_columns=2,
+    )
+    return SchemaLinkingInstance(
+        instance_id=instance_id,
+        db=db,
+        question="test question",
+        features=features,
+        task=task,
+        candidates=tuple(t.name for t in db.tables) if task == "table" else gold,
+        gold_items=gold,
+        difficulty=difficulty,
+    )

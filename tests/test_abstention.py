@@ -1,7 +1,6 @@
 """Tests for Algorithm 2 trace-back, the surrogate filter, and the human
 oracle."""
 
-import numpy as np
 import pytest
 
 from repro.abstention.human import BEGINNER, EXPERT, HumanOracle, HumanProfile
@@ -10,7 +9,7 @@ from repro.core.pipeline import RTSPipeline
 from repro.llm.errors import ErrorEvent
 from repro.llm.model import GenerationSession
 
-from conftest import make_instance, make_racing_db
+from helpers import make_instance, make_racing_db
 
 
 @pytest.fixture(scope="module")

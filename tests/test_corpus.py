@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.corpus.bird import BirdBuilder
-from repro.corpus.dataset import DIFFICULTIES, Example
+from repro.corpus.dataset import DIFFICULTIES
 from repro.corpus.generator import CorpusScale, DatabaseFactory
-from repro.corpus.questions import QuestionFactory, compute_features
+from repro.corpus.questions import QuestionFactory
 from repro.corpus.spider import SpiderBuilder
 from repro.corpus.values import draw_value, pool_values
 from repro.schema.naming import NamingStyle

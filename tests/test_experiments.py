@@ -95,9 +95,9 @@ def test_context_memoizes(ctx):
 def test_ablations_runner(ctx):
     result = ablations.run(ctx)
     labels = [r[0] for r in result.rows]
-    assert any("Mondrian" in l for l in labels)
-    assert any("layer" in l for l in labels)
-    assert any("Logit-threshold" in l for l in labels)
+    assert any("Mondrian" in label for label in labels)
+    assert any("layer" in label for label in labels)
+    assert any("Logit-threshold" in label for label in labels)
 
 
 def test_calibrate_runner(ctx):

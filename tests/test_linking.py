@@ -14,7 +14,7 @@ from repro.linking.instance import (
 from repro.linking.linker import SchemaLinker
 from repro.linking.metrics import evaluate_linking, exact_match, precision_recall
 
-from conftest import make_instance, make_racing_db
+from helpers import make_instance, make_racing_db
 
 
 class TestInstances:

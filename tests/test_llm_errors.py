@@ -1,6 +1,5 @@
 """Tests for the error process: propensity, event planning, distractors."""
 
-import numpy as np
 import pytest
 
 from repro.corpus.dataset import InstanceFeatures
@@ -14,7 +13,7 @@ from repro.llm.errors import (
     plan_errors,
 )
 
-from conftest import make_instance, make_racing_db
+from helpers import make_instance, make_racing_db
 
 
 def features(**overrides) -> InstanceFeatures:

@@ -8,7 +8,7 @@ from repro.llm.errors import ErrorEvent
 from repro.llm.model import GenerationSession, TransparentLLM
 from repro.llm.tokenizer import EOS, SEP, tokenize_items
 
-from conftest import make_instance, make_racing_db
+from helpers import make_instance, make_racing_db
 
 
 @pytest.fixture(scope="module")
@@ -110,7 +110,6 @@ class TestOmission:
     def test_teacher_forcing_restores_omitted_item(self, llm, db):
         events = [ErrorEvent(1, "omit")]
         inst = make_instance(db, ("races", "drivers"), instance_id="om1/table")
-        trace = None
         s = GenerationSession(llm, inst, events)
         gold = tokenize_items(["races", "drivers"])
         while not s.done:
@@ -159,7 +158,7 @@ class TestMultipleEvents:
             ErrorEvent(2, "insert", "lap_times"),
         ]
         inst = make_instance(db, ("races", "drivers"), instance_id="m1/table")
-        trace = TransparentLLM.teacher_forced_trace.__get__(llm)(inst)  # clean llm path
+        TransparentLLM.teacher_forced_trace.__get__(llm)(inst)  # clean llm path
         # Constructed session instead (explicit events):
         s = GenerationSession(llm, inst, events)
         gold = tokenize_items(["races", "drivers"])

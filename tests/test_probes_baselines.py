@@ -1,7 +1,6 @@
 """Tests for the logit-threshold baseline detector — and the quantified
 version of the paper's §3.1 claim that it cannot compete with mBPP."""
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import RTSPipeline

@@ -1,0 +1,284 @@
+"""Tests for the batched evaluation runtime (pool / cache / artifacts / runner)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import RTSConfig
+from repro.core.pipeline import RTSPipeline
+from repro.llm.model import TransparentLLM
+from repro.runtime.artifacts import (
+    RunArtifact,
+    link_outcome_from_record,
+    link_record,
+    summarize_link,
+)
+from repro.runtime.cache import CachingLLM, GenerationCache, instance_key
+from repro.runtime.pool import PROCESS, THREAD, WorkerPool
+from repro.runtime.runner import BatchRunner
+
+
+@pytest.fixture(scope="module")
+def caching_pipeline(bird_tiny):
+    """A pipeline over a caching LLM, fitted once for the module."""
+    llm = CachingLLM(TransparentLLM(seed=11))
+    pipe = RTSPipeline(llm, RTSConfig(seed=3))
+    pipe.fit_benchmark(bird_tiny)
+    return pipe
+
+
+@pytest.fixture(scope="module")
+def dev_instances(bird_tiny):
+    return [
+        RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.dev
+    ]
+
+
+# -- worker pool --------------------------------------------------------------
+
+
+def test_pool_serial_fallback_and_order():
+    pool = WorkerPool(workers=1, backend=THREAD)
+    assert pool.is_serial
+    assert pool.map_ordered(lambda x: x * x, range(7)) == [0, 1, 4, 9, 16, 25, 36]
+
+
+def test_pool_thread_preserves_input_order():
+    pool = WorkerPool(workers=4, backend=THREAD)
+    items = list(range(50))
+    assert pool.map_ordered(lambda x: -x, items) == [-x for x in items]
+
+
+def test_pool_rejects_bad_config():
+    with pytest.raises(ValueError):
+        WorkerPool(workers=2, backend="gpu")
+    with pytest.raises(ValueError):
+        WorkerPool(workers=0)
+
+
+def test_pool_empty_input():
+    assert WorkerPool(workers=4, backend=THREAD).map_ordered(abs, []) == []
+
+
+# -- generation cache ---------------------------------------------------------
+
+
+def test_cache_hit_accounting():
+    cache = GenerationCache()
+    calls = []
+    for _ in range(3):
+        cache.get_or_compute("k", lambda: calls.append(1) or "v")
+    assert calls == [1]
+    assert cache.stats.hits == 2 and cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_caching_llm_returns_identical_traces(dev_instances):
+    plain = TransparentLLM(seed=11)
+    caching = CachingLLM(TransparentLLM(seed=11))
+    inst = dev_instances[0]
+    first = caching.generate(inst)
+    second = caching.generate(inst)
+    assert first is second  # memoized, not recomputed
+    assert first.items == plain.generate(inst).items
+    assert caching.teacher_forced_trace(inst).committed_tokens == (
+        plain.teacher_forced_trace(inst).committed_tokens
+    )
+    assert caching.stats.hits >= 1
+
+
+def test_instance_key_distinguishes_candidate_universes(bird_tiny):
+    """Joint linking builds same-id column instances with different candidates."""
+    from repro.linking.instance import SchemaLinkingInstance
+
+    example = bird_tiny.dev.examples[0]
+    db = bird_tiny.database(example.db_id).schema
+    full = SchemaLinkingInstance.for_columns(example, db)
+    restricted = SchemaLinkingInstance.for_columns(
+        example, db, restrict_tables=example.gold_tables
+    )
+    assert full.instance_id == restricted.instance_id
+    assert instance_key(full) != instance_key(restricted)
+
+
+def test_cache_hits_on_joint_sweep(caching_pipeline, bird_tiny):
+    runner = BatchRunner(caching_pipeline)
+    examples = list(bird_tiny.dev)
+    runner.run_joint(examples, bird_tiny, mode="abstain")
+    before = caching_pipeline.llm.stats
+    runner.run_joint(examples, bird_tiny, mode="abstain")
+    after = caching_pipeline.llm.stats
+    assert after.hits > before.hits  # repeated generations served from cache
+    assert after.misses == before.misses
+
+
+# -- serial vs parallel determinism -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", [THREAD, PROCESS])
+def test_link_parallel_matches_serial(caching_pipeline, dev_instances, backend):
+    serial = BatchRunner(caching_pipeline, workers=1).run_link(dev_instances)
+    parallel = BatchRunner(caching_pipeline, workers=4, backend=backend).run_link(
+        dev_instances
+    )
+    # Byte-identical aggregate metrics, per the determinism contract.
+    assert json.dumps(serial.summary, sort_keys=True) == json.dumps(
+        parallel.summary, sort_keys=True
+    )
+    assert serial.records == parallel.records
+
+
+def test_joint_parallel_matches_serial(caching_pipeline, bird_tiny):
+    from repro.abstention.human import HumanOracle
+
+    examples = list(bird_tiny.dev)
+    serial = BatchRunner(caching_pipeline, workers=1).run_joint(
+        examples, bird_tiny, human=HumanOracle(seed=9)
+    )
+    threaded = BatchRunner(caching_pipeline, workers=4, backend=THREAD).run_joint(
+        examples, bird_tiny, human=HumanOracle(seed=9)
+    )
+    assert serial.records == threaded.records
+    assert serial.summary == threaded.summary
+
+
+def test_branch_dataset_parallel_matches_serial(caching_pipeline, dev_instances):
+    import numpy as np
+
+    serial = BatchRunner(caching_pipeline, workers=1).branch_dataset(dev_instances)
+    threaded = BatchRunner(caching_pipeline, workers=4, backend=THREAD).branch_dataset(
+        dev_instances
+    )
+    assert np.array_equal(serial.hidden, threaded.hidden)
+    assert np.array_equal(serial.labels, threaded.labels)
+    assert np.array_equal(serial.groups, threaded.groups)
+
+
+# -- artifacts: records, checkpoints, resume ----------------------------------
+
+
+def test_link_record_roundtrip(caching_pipeline, dev_instances):
+    outcome = caching_pipeline.link(dev_instances[0])
+    record = json.loads(json.dumps(link_record(outcome)))
+    restored = link_outcome_from_record(record, dev_instances[0])
+    assert restored.predicted == outcome.predicted
+    assert restored.unassisted == outcome.unassisted
+    assert restored.abstained == outcome.abstained
+    assert restored.flags == outcome.flags
+    with pytest.raises(ValueError):
+        link_outcome_from_record(record, dev_instances[1])
+
+
+def test_artifact_streams_and_summarizes(caching_pipeline, dev_instances, tmp_path):
+    path = tmp_path / "run.jsonl"
+    runner = BatchRunner(caching_pipeline, artifact=str(path))
+    result = runner.run_link(dev_instances)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == len(dev_instances)
+    summary = json.loads(RunArtifact(str(path)).summary_path.read_text())
+    assert summary["n"] == result.summary["n"]
+    assert summary["tar"] == pytest.approx(result.summary["tar"])
+
+
+def test_resume_from_truncated_artifact(caching_pipeline, dev_instances, tmp_path):
+    path = tmp_path / "run.jsonl"
+    full = BatchRunner(caching_pipeline, artifact=str(path)).run_link(dev_instances)
+    assert full.n_resumed == 0 and full.n_evaluated == len(dev_instances)
+
+    # Simulate a hard kill: keep 3 complete records, then half a line.
+    lines = path.read_text().splitlines(keepends=True)
+    path.write_text("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+
+    resumed = BatchRunner(caching_pipeline, artifact=str(path)).run_link(dev_instances)
+    assert resumed.n_resumed == 3
+    assert resumed.n_evaluated == len(dev_instances) - 3
+    # The resumed run is bit-identical to the uninterrupted one.
+    assert json.dumps(resumed.summary, sort_keys=True) == json.dumps(
+        full.summary, sort_keys=True
+    )
+    assert resumed.records == full.records
+    assert len(path.read_text().strip().splitlines()) == len(dev_instances)
+
+
+def test_checkpoints_stream_before_batch_completes(
+    caching_pipeline, dev_instances, tmp_path
+):
+    """A crash mid-sweep must leave earlier outcomes checkpointed."""
+    path = tmp_path / "crash.jsonl"
+    boom_id = dev_instances[3].instance_id
+    real_link = caching_pipeline.link
+
+    class Exploding:
+        def __getattr__(self, name):
+            return getattr(caching_pipeline, name)
+
+        def link(self, instance, **kwargs):
+            if instance.instance_id == boom_id:
+                raise RuntimeError("simulated crash")
+            return real_link(instance, **kwargs)
+
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        BatchRunner(Exploding(), artifact=str(path)).run_link(dev_instances)
+    assert len(path.read_text().strip().splitlines()) == 3  # streamed, not batched
+
+    # And the healthy runner resumes on top of the partial artifact.
+    resumed = BatchRunner(caching_pipeline, artifact=str(path)).run_link(dev_instances)
+    assert resumed.n_resumed == 3
+    assert resumed.n_evaluated == len(dev_instances) - 3
+
+
+def test_resume_keys_include_run_fingerprint(caching_pipeline, dev_instances, tmp_path):
+    """Records from a different-seed run must not be silently reused."""
+    path = tmp_path / "fp.jsonl"
+    BatchRunner(caching_pipeline, artifact=str(path)).run_link(dev_instances)
+    other_llm = CachingLLM(TransparentLLM(seed=99))
+    other = RTSPipeline(other_llm, RTSConfig(seed=3))
+    other._mbpps = caching_pipeline._mbpps  # reuse probes; only the LLM differs
+    result = BatchRunner(other, artifact=str(path)).run_link(dev_instances)
+    assert result.n_resumed == 0  # llm seed changed -> full re-evaluation
+
+
+def test_artifact_tolerates_corrupt_tail(tmp_path):
+    path = tmp_path / "part.jsonl"
+    good = json.dumps({"key": "a", "x": 1})
+    path.write_text(good + "\n" + '{"key": "b", "x"')
+    artifact = RunArtifact(str(path))
+    records = artifact.load_records()
+    assert list(records) == ["a"]
+    # The corrupt tail was truncated away so appends start clean.
+    assert path.read_text() == good + "\n"
+
+
+def test_summarize_link_counts(caching_pipeline, dev_instances):
+    outcomes = [caching_pipeline.link(i) for i in dev_instances]
+    summary = summarize_link(outcomes)
+    assert summary["n"] == len(dev_instances)
+    assert 0.0 <= summary["tar"] + summary["far"] <= 1.0
+    assert summary["n_abstained"] == sum(1 for o in outcomes if o.abstained)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_runs_and_writes_artifact(tmp_path, capsys):
+    from repro.runtime.cli import main
+
+    artifact = tmp_path / "cli.jsonl"
+    code = main(
+        [
+            "--benchmark", "bird",
+            "--split", "dev",
+            "--task", "table",
+            "--scale", "tiny",
+            "--workers", "2",
+            "--limit", "4",
+            "--artifact", str(artifact),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["n"] == 4
+    assert payload["generation_cache"]["misses"] > 0
+    assert artifact.exists()

@@ -10,7 +10,7 @@ from repro.schema.ddl import render_create_table, render_database_ddl, schema_pr
 from repro.schema.naming import NamingStyle, dirty_name, rename_database
 from repro.schema.table import ForeignKey, Table
 
-from conftest import make_column, make_racing_db
+from helpers import make_column, make_racing_db
 
 
 class TestColumn:

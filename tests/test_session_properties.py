@@ -14,14 +14,13 @@ session and asserts the invariants the whole RTS pipeline rests on:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.llm.errors import ErrorEvent, INSERT, OMIT, SUBSTITUTE
 from repro.llm.model import GenerationSession, TransparentLLM
 from repro.llm.tokenizer import tokenize_items
 
-from conftest import make_instance, make_racing_db
+from helpers import make_instance, make_racing_db
 
 DB = make_racing_db()
 TABLES = [t.name for t in DB.tables]

@@ -14,7 +14,6 @@ class TestProfiles:
     def test_success_decreases_with_difficulty(self, bird_tiny):
         by_difficulty = {}
         for e in bird_tiny.dev:
-            db = bird_tiny.database(e.db_id).schema
             p = DEEPSEEK_7B.success_probability(e, 0)
             by_difficulty.setdefault(e.difficulty, []).append(p)
         if "simple" in by_difficulty and "challenging" in by_difficulty:

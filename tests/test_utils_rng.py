@@ -1,7 +1,6 @@
 """Tests for repro.utils.rng: determinism and stream independence."""
 
 import numpy as np
-import pytest
 
 from repro.utils.rng import RngFactory, as_generator, spawn, stable_hash
 
