@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — the same gates, the same
+# commands, so "works on my machine" and "works in CI" are one claim.
+#
+#   scripts/dev.sh lint         # ruff check + format gate
+#   scripts/dev.sh test         # tier-1 pytest suite
+#   scripts/dev.sh bench-smoke  # micro-benchmarks once each + JSON artifact
+#   scripts/dev.sh sweep-smoke  # sharded sweep + warm-cache + merge identity
+#   scripts/dev.sh all          # everything, in CI order (the default)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+lint() {
+  command -v ruff >/dev/null || {
+    echo "scripts/dev.sh: ruff not found — pip install 'ruff>=0.4'" >&2
+    exit 3
+  }
+  ruff check src tests benchmarks examples
+  # New subsystems hold the line on formatting; legacy files migrate over time.
+  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/helpers.py
+}
+
+tier1() {
+  python -m pytest -x -q
+}
+
+bench_smoke() {
+  mkdir -p out
+  python -m pytest benchmarks/bench_micro.py -q \
+    --benchmark-min-rounds=1 --benchmark-warmup=off --benchmark-max-time=0.1 \
+    --benchmark-json=out/bench-smoke.json
+}
+
+sweep_smoke() {
+  local out=out/sweep-smoke
+  rm -rf "$out"
+  mkdir -p "$out"
+  local axes=(--benchmarks bird --splits dev --tasks table --modes abstain human
+              --seeds 3 --scale tiny --limit 4 --workers 1)
+  # Same entry point as the installed `repro-sweep` console script.
+  sweep() {
+    python -c 'import sys; from repro.runtime.cli import main_sweep; sys.exit(main_sweep(sys.argv[1:]))' "$@"
+  }
+
+  # Cold 2-shard sweep: shards share one persistent generation cache.
+  sweep run "${axes[@]}" --shard-index 0 --shard-count 2 \
+    --out "$out/sharded-cold" --cache-dir "$out/gen-cache" > "$out/cold-shard-0.json"
+  sweep run "${axes[@]}" --shard-index 1 --shard-count 2 \
+    --out "$out/sharded-cold" --cache-dir "$out/gen-cache" > "$out/cold-shard-1.json"
+  sweep merge --out "$out/sharded-cold" > "$out/merge-sharded-cold.json"
+
+  # The same 2-shard sweep again, warm: every generation must come from
+  # the persistent cache (zero misses per shard).
+  sweep run "${axes[@]}" --shard-index 0 --shard-count 2 \
+    --out "$out/sharded-warm" --cache-dir "$out/gen-cache" > "$out/warm-shard-0.json"
+  sweep run "${axes[@]}" --shard-index 1 --shard-count 2 \
+    --out "$out/sharded-warm" --cache-dir "$out/gen-cache" > "$out/warm-shard-1.json"
+  sweep merge --out "$out/sharded-warm" > "$out/merge-sharded-warm.json"
+
+  # Unsharded reference run against the same cache.
+  sweep run "${axes[@]}" --out "$out/unsharded" --cache-dir "$out/gen-cache" \
+    > "$out/unsharded.json"
+  sweep merge --out "$out/unsharded" > "$out/merge-unsharded.json"
+
+  # Merges must be byte-identical however the sweep was sharded.
+  cmp "$out/sharded-cold/sweep-summary.json" "$out/unsharded/sweep-summary.json"
+  cmp "$out/sharded-warm/sweep-summary.json" "$out/unsharded/sweep-summary.json"
+
+  # Warm runs must report ~100% cache hits and zero new LLM generations.
+  python - "$out/warm-shard-0.json" "$out/warm-shard-1.json" "$out/unsharded.json" <<'PY'
+import json
+import sys
+
+for path in sys.argv[1:]:
+    stats = json.load(open(path))["runtime"]["generation_cache"]
+    assert stats["misses"] == 0, f"{path}: warm run recomputed generations: {stats}"
+    assert stats["hit_rate"] == 1.0, f"{path}: warm hit rate not 100%: {stats}"
+    print(f"sweep-smoke OK {path}: {stats}")
+PY
+  echo "sweep-smoke passed: byte-identical merges, warm cache fully hit"
+}
+
+case "${1:-all}" in
+  lint) lint ;;
+  test) tier1 ;;
+  bench-smoke) bench_smoke ;;
+  sweep-smoke) sweep_smoke ;;
+  all) lint; tier1; bench_smoke; sweep_smoke ;;
+  *) echo "usage: scripts/dev.sh [lint|test|bench-smoke|sweep-smoke|all]" >&2; exit 2 ;;
+esac

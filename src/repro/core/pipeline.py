@@ -100,12 +100,21 @@ class RTSPipeline:
             self.fit_task(task, instances, pool=pool)
         return self
 
+    def identity_parts(self) -> tuple:
+        """Everything outcome-affecting about this pipeline besides inputs.
+
+        Embedded in artifact resume keys and sweep fingerprints so
+        records computed under a differently seeded LLM or RTS config
+        are never silently reused across runs.
+        """
+        return (getattr(self.llm, "seed", None), self.config.seed)
+
     def batch(self, workers: int = 1, backend: str = "thread", artifact=None):
         """A :class:`~repro.runtime.runner.BatchRunner` over this pipeline.
 
         All bulk evaluation (experiment tables, figures, sweeps, the
-        ``repro-run`` CLI) goes through the returned runner rather than
-        hand-rolled per-example loops.
+        ``repro-run`` / ``repro-sweep`` CLIs) goes through the returned
+        runner rather than hand-rolled per-example loops.
         """
         from repro.runtime.runner import BatchRunner  # local: avoids cycle
 

@@ -8,11 +8,19 @@ on this). All bulk evaluation routes through the
 :class:`~repro.runtime.runner.BatchRunner` returned by :meth:`runner`,
 and the LLM is wrapped in a :class:`~repro.runtime.cache.CachingLLM` so
 repeated generations across tables/figures are computed once.
+
+With ``cache_dir`` (or the ``REPRO_CACHE_DIR`` environment variable via
+:meth:`ExperimentContext.default`), the generation cache is a
+:class:`~repro.runtime.persist.PersistentGenerationCache`: generations
+spill to disk and every driver, sweep shard and re-run sharing that
+directory reuses them instead of recomputing.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.abstention.human import EXPERT, HumanOracle, HumanProfile
 from repro.abstention.surrogate import SurrogateFilter
@@ -26,7 +34,8 @@ from repro.core.results import JointOutcome, LinkOutcome
 from repro.linking.dataset import BranchDataset
 from repro.linking.instance import SchemaLinkingInstance
 from repro.llm.model import TransparentLLM
-from repro.runtime.cache import CachingLLM
+from repro.runtime.cache import CachingLLM, GenerationCache
+from repro.runtime.persist import PersistentGenerationCache, generation_namespace
 from repro.runtime.pool import THREAD, WorkerPool
 from repro.runtime.runner import BatchRunner
 from repro.utils.tabulate import render_table
@@ -101,6 +110,8 @@ class ExperimentContext:
         scale: "CorpusScale | None" = None,
         workers: int = 1,
         backend: str = THREAD,
+        cache: "GenerationCache | None" = None,
+        cache_dir: "str | Path | None" = None,
     ):
         self.corpus_seed = corpus_seed
         self.llm_seed = llm_seed
@@ -108,6 +119,8 @@ class ExperimentContext:
         self.scale = scale or CorpusScale.small()
         self.workers = workers
         self.backend = backend
+        self._cache = cache
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._benchmarks: dict[str, Benchmark] = {}
         self._pipelines: dict[str, RTSPipeline] = {}
         self._surrogates: dict[str, SurrogateFilter] = {}
@@ -119,16 +132,35 @@ class ExperimentContext:
         self._pool: "WorkerPool | None" = None
 
     @classmethod
-    def tiny(cls, workers: int = 1) -> "ExperimentContext":
+    def tiny(cls, workers: int = 1, **kwargs) -> "ExperimentContext":
         """A fast context for tests and benchmark timing."""
-        return cls(scale=CorpusScale.tiny(), workers=workers)
+        return cls(scale=CorpusScale.tiny(), workers=workers, **kwargs)
+
+    @classmethod
+    def default(cls, **kwargs) -> "ExperimentContext":
+        """The driver entry points' context.
+
+        Honors ``REPRO_CACHE_DIR``: when set, every table/figure driver
+        shares one persistent generation cache, so regenerating the
+        evidence file after a sweep (or re-running a single driver)
+        reuses all previously computed generations.
+        """
+        kwargs.setdefault("cache_dir", os.environ.get("REPRO_CACHE_DIR") or None)
+        return cls(**kwargs)
 
     # -- artifacts ----------------------------------------------------------
 
     @property
     def llm(self) -> CachingLLM:
         if self._llm is None:
-            self._llm = CachingLLM(TransparentLLM(seed=self.llm_seed))
+            base = TransparentLLM(seed=self.llm_seed)
+            cache = self._cache
+            if cache is None and self.cache_dir is not None:
+                cache = PersistentGenerationCache(
+                    self.cache_dir,
+                    namespace=generation_namespace(base.config, base.seed),
+                )
+            self._llm = CachingLLM(base, cache=cache)
         return self._llm
 
     @property

@@ -74,7 +74,7 @@ def probability_histograms(ctx: ExperimentContext, bins: int = 12):
 
 
 def main() -> None:  # pragma: no cover
-    print(run(ExperimentContext()).render())
+    print(run(ExperimentContext.default()).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,7 +49,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def main() -> None:  # pragma: no cover
-    print(run(ExperimentContext()).render())
+    print(run(ExperimentContext.default()).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

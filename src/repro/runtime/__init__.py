@@ -13,12 +13,21 @@ This package provides the shared substrate for doing that at scale:
   checkpoints and aggregate TAR/FAR/abstention summaries;
 * :mod:`repro.runtime.runner` — the `BatchRunner` that ties them
   together;
-* :mod:`repro.runtime.cli` — the ``repro-run`` console entry point.
+* :mod:`repro.runtime.persist` — the cross-process
+  `PersistentGenerationCache` (content-addressed JSONL segment store,
+  safe concurrent writers) that lets separate shards and re-runs reuse
+  generations through the filesystem;
+* :mod:`repro.runtime.sweep` — `SweepSpec` / `ShardPlan` /
+  `SweepRunner` / `merge_sweep`: deterministic sharding of multi-axis
+  evaluation matrices with byte-identical merged summaries;
+* :mod:`repro.runtime.cli` — the ``repro-run`` and ``repro-sweep``
+  console entry points.
 
 Every path is deterministic: a batch run with ``workers=4`` produces
-byte-identical aggregate metrics to the serial fallback because all
-randomness in the library is derived from named streams, never from
-execution order.
+byte-identical aggregate metrics to the serial fallback, and a sweep
+split into N shards merges byte-identically to the unsharded run,
+because all randomness in the library is derived from named streams,
+never from execution order or process boundaries.
 """
 
 from repro.runtime.artifacts import (
@@ -28,8 +37,17 @@ from repro.runtime.artifacts import (
     summarize_link,
 )
 from repro.runtime.cache import CacheStats, CachingLLM, GenerationCache, instance_key
+from repro.runtime.persist import PersistentGenerationCache, generation_namespace
 from repro.runtime.pool import BACKENDS, PROCESS, SERIAL, THREAD, WorkerPool
 from repro.runtime.runner import BatchResult, BatchRunner
+from repro.runtime.sweep import (
+    ShardPlan,
+    SweepRunner,
+    SweepSpec,
+    SweepUnit,
+    merge_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "BACKENDS",
@@ -39,12 +57,20 @@ __all__ = [
     "CachingLLM",
     "GenerationCache",
     "PROCESS",
+    "PersistentGenerationCache",
     "RunArtifact",
     "SERIAL",
+    "ShardPlan",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepUnit",
     "THREAD",
     "WorkerPool",
+    "generation_namespace",
     "instance_key",
     "link_record",
+    "merge_sweep",
+    "run_sweep",
     "summarize_joint",
     "summarize_link",
 ]

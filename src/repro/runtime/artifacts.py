@@ -226,10 +226,32 @@ class RunArtifact:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
 
+    @property
+    def stats_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".stats.json")
+
     def write_summary(self, summary: dict) -> None:
         self.summary_path.parent.mkdir(parents=True, exist_ok=True)
         self.summary_path.write_text(
             json.dumps(strict_jsonable(summary), indent=2, sort_keys=True)
+        )
+
+    def write_stats(self, stats) -> None:
+        """Serialize this run's cache stats next to the summary.
+
+        A separate sidecar on purpose: the summary is deterministic
+        (byte-unchanged across resumed, warm and parallel re-runs) while
+        cache deltas are operational bookkeeping that varies with cache
+        warmth — shard merges aggregate them into fleet-wide hit rates.
+        """
+        payload = {
+            "generation_cache": stats.as_dict()
+            if hasattr(stats, "as_dict")
+            else dict(stats)
+        }
+        self.stats_path.parent.mkdir(parents=True, exist_ok=True)
+        self.stats_path.write_text(
+            json.dumps(strict_jsonable(payload), indent=2, sort_keys=True)
         )
 
     def close(self) -> None:

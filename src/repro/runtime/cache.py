@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.linking.instance import SchemaLinkingInstance
 from repro.llm.model import GenerationSession, GenerationTrace, TransparentLLM
@@ -36,21 +36,73 @@ def instance_key(instance: SchemaLinkingInstance) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss accounting for one cache."""
+    """Hit/miss accounting for one cache.
+
+    ``hits`` are served from this process's memory, ``disk_hits`` from a
+    persistent store (:mod:`repro.runtime.persist`), and ``misses`` are
+    new LLM generations. Instances form a commutative monoid under
+    ``+`` so per-shard stats aggregate into fleet-wide totals; ``-``
+    yields the delta between two snapshots of the same cache (what one
+    unit of work contributed).
+    """
 
     hits: int
     misses: int
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        return (self.hits + self.disk_hits) / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            disk_hits=self.disk_hits + other.disk_hits,
+        )
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            disk_hits=self.disk_hits - other.disk_hits,
+        )
+
+    @classmethod
+    def zero(cls) -> "CacheStats":
+        return cls(hits=0, misses=0, disk_hits=0)
+
+    @classmethod
+    def total(cls, stats: "Iterable[CacheStats | dict | None]") -> "CacheStats":
+        """Sum stats (dicts from JSON summaries are accepted, None skipped)."""
+        out = cls.zero()
+        for entry in stats:
+            if entry is None:
+                continue
+            if isinstance(entry, dict):
+                entry = cls(
+                    hits=int(entry.get("hits", 0)),
+                    misses=int(entry.get("misses", 0)),
+                    disk_hits=int(entry.get("disk_hits", 0)),
+                )
+            out = out + entry
+        return out
 
 
 class GenerationCache:

@@ -1,4 +1,4 @@
-"""``repro-run`` — batched evaluation sweeps from the command line.
+"""``repro-run`` and ``repro-sweep`` — batched evaluation from the CLI.
 
 Examples
 --------
@@ -13,6 +13,20 @@ Joint table→column sweep with the expert human in the loop::
 
 Interrupt either run and re-issue the same command: completed examples
 are loaded from the artifact and only the remainder is evaluated.
+
+Multi-axis matrices shard across machines with ``repro-sweep``: every
+invocation below may run on a different host against a shared
+filesystem, and generations are reused across all of them through the
+persistent cache under ``--cache-dir``::
+
+    repro-sweep run --benchmarks bird spider --modes abstain human \
+        --shard-index 0 --shard-count 2 --out out/sweep --cache-dir out/gen
+    repro-sweep run --benchmarks bird spider --modes abstain human \
+        --shard-index 1 --shard-count 2 --out out/sweep --cache-dir out/gen
+    repro-sweep merge --out out/sweep
+
+The merged ``sweep-summary.json`` is byte-identical however the sweep
+was sharded; ``repro-sweep plan`` previews the shard assignment.
 """
 
 from __future__ import annotations
@@ -26,10 +40,27 @@ from repro.corpus.generator import CorpusScale
 from repro.experiments.common import ExperimentContext
 from repro.runtime.artifacts import strict_jsonable
 from repro.runtime.pool import BACKENDS, THREAD, default_workers
+from repro.runtime.sweep import (
+    BENCHMARKS,
+    SCALES as SWEEP_SCALES,
+    SPLITS,
+    TASKS,
+    ShardPlan,
+    SweepRunner,
+    SweepSpec,
+    merge_sweep,
+)
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "build_sweep_parser", "main_sweep"]
 
 SCALES = ("tiny", "small")
+
+
+def positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,12 +81,6 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the joint table->column pipeline instead of one task",
     )
-    def positive_int(value: str) -> int:
-        parsed = int(value)
-        if parsed < 1:
-            raise argparse.ArgumentTypeError("must be >= 1")
-        return parsed
-
     parser.add_argument("--mode", choices=sorted(MITIGATION_MODES), default=ABSTAIN)
     parser.add_argument("--workers", type=positive_int, default=default_workers())
     parser.add_argument("--backend", choices=BACKENDS, default=THREAD)
@@ -130,6 +155,124 @@ def main(argv: "list[str] | None" = None) -> int:
         payload["generation_cache"] = result.cache_stats.as_dict()
     json.dump(strict_jsonable(payload), sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
+    return 0
+
+
+# -- repro-sweep --------------------------------------------------------------
+
+
+def _emit(payload: dict) -> None:
+    json.dump(strict_jsonable(payload), sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    matrix = parser.add_argument_group("sweep matrix")
+    matrix.add_argument("--benchmarks", nargs="+", choices=BENCHMARKS, default=["bird"])
+    matrix.add_argument("--splits", nargs="+", choices=SPLITS, default=["dev"])
+    matrix.add_argument("--tasks", nargs="+", choices=TASKS, default=["table"])
+    matrix.add_argument(
+        "--modes", nargs="+", choices=sorted(MITIGATION_MODES), default=[ABSTAIN]
+    )
+    matrix.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[3],
+        help="RTS pipeline seeds (one fitted pipeline per seed)",
+    )
+    matrix.add_argument("--corpus-seed", type=int, default=7)
+    matrix.add_argument("--llm-seed", type=int, default=11)
+    matrix.add_argument("--scale", choices=tuple(SWEEP_SCALES), default="small")
+    matrix.add_argument(
+        "--limit", type=positive_int, default=None, help="cap examples per unit"
+    )
+
+
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    return SweepSpec(
+        benchmarks=tuple(args.benchmarks),
+        splits=tuple(args.splits),
+        tasks=tuple(args.tasks),
+        modes=tuple(args.modes),
+        seeds=tuple(args.seeds),
+        corpus_seed=args.corpus_seed,
+        llm_seed=args.llm_seed,
+        scale=args.scale,
+        limit=args.limit,
+    )
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Sharded multi-axis evaluation sweeps with a persistent "
+        "cross-process generation cache.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one shard of the sweep matrix")
+    _add_spec_arguments(run)
+    run.add_argument("--shard-index", type=int, default=0)
+    run.add_argument("--shard-count", type=positive_int, default=1)
+    run.add_argument("--out", required=True, help="sweep output directory")
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent generation cache shared across shards and re-runs",
+    )
+    run.add_argument("--workers", type=positive_int, default=1)
+    run.add_argument("--backend", choices=BACKENDS, default=THREAD)
+
+    plan = commands.add_parser("plan", help="preview the shard assignment")
+    _add_spec_arguments(plan)
+    plan.add_argument("--shard-count", type=positive_int, default=1)
+
+    merge = commands.add_parser(
+        "merge", help="merge shard manifests into sweep-summary.json"
+    )
+    merge.add_argument("--out", required=True, help="sweep output directory")
+    return parser
+
+
+def main_sweep(argv: "list[str] | None" = None) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run" and not 0 <= args.shard_index < args.shard_count:
+        parser.error(
+            f"--shard-index {args.shard_index} out of range for "
+            f"--shard-count {args.shard_count}"
+        )
+    if args.command == "merge":
+        merged = merge_sweep(args.out)
+        _emit(merged)
+        return 0
+
+    spec = _spec_from_args(args)
+    if args.command == "plan":
+        plan = ShardPlan(spec, args.shard_count)
+        _emit(
+            {
+                "spec": spec.to_dict(),
+                "spec_digest": spec.digest(),
+                "n_units": len(spec.units()),
+                "shards": {
+                    f"shard-{i}": [u.unit_id for u in plan.shard(i)]
+                    for i in range(args.shard_count)
+                },
+            }
+        )
+        return 0
+
+    runner = SweepRunner(
+        spec,
+        args.out,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    manifest = runner.run_shard(args.shard_index, args.shard_count)
+    _emit(manifest)
     return 0
 
 

@@ -1,0 +1,344 @@
+"""Cross-process persistent generation cache.
+
+The in-memory :class:`~repro.runtime.cache.GenerationCache` dies with
+its process, so every sweep shard and every re-run pays the full
+generation cost again. This module spills cache entries to a
+content-addressed on-disk store that any number of concurrent readers
+and writers — threads, worker processes, separate shard invocations,
+even separate machines over a shared filesystem — can share safely.
+
+Store layout
+------------
+``cache_dir/`` holds one subdirectory per *namespace* (a digest of the
+simulated LLM's configuration and seed — generations from differently
+seeded models must never alias), each containing append-only JSONL
+*segment* files::
+
+    cache_dir/
+      <namespace>/
+        w-<pid>-<nonce>.jsonl    # one segment per writer instance
+        c-<pid>-<nonce>.jsonl    # a compacted segment (see compact())
+
+Each line is one entry ``{"k": <address>, "kind": ..., "v": <trace>}``.
+The address is a 128-bit blake2b digest over (namespace, cache key) —
+the full identity of one generation input, including the candidate
+universe via :func:`~repro.runtime.cache.instance_key` — so an entry is
+immutable by construction: the same address always maps to the same
+value, and duplicate writes are harmless.
+
+Concurrency
+-----------
+Writers never touch each other's files: every cache instance lazily
+creates its own uniquely named segment and appends complete lines under
+an in-process lock, flushing per entry. Readers scan every segment in
+the namespace, remember per-file byte offsets so refreshes only read
+appended tails, and tolerate a truncated final line (a writer killed
+mid-append) by leaving it for the next refresh. No file locks are
+needed because segments are single-writer and entries are immutable.
+
+Values round-trip *exactly*: hidden-state matrices are stored as base64
+raw bytes with dtype and shape, so a trace rehydrated from disk is
+bit-identical to the one computed — which is what makes sharded sweeps
+byte-identical to unsharded ones even when probes are trained from
+cached traces.
+
+Eviction
+--------
+None, by design: entries are content-addressed and immutable, so the
+store only grows and never goes stale. Delete the namespace directory
+(or the whole ``cache_dir``) to evict everything, or call
+:meth:`PersistentGenerationCache.compact` — only while no other writer
+is active — to rewrite all segments into one with duplicates dropped.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.model import GenerationStep, GenerationTrace
+from repro.runtime.cache import CacheStats, GenerationCache
+
+__all__ = [
+    "PersistentGenerationCache",
+    "generation_namespace",
+    "trace_to_record",
+    "trace_from_record",
+]
+
+_MISS = object()
+
+
+def generation_namespace(config, seed: int) -> str:
+    """The store namespace for one simulated LLM identity.
+
+    A generation is a pure function of (LLM config, LLM seed, instance);
+    the instance is captured by the cache key, the rest lives here.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in (repr(config), int(seed)):
+        digest.update(repr(part).encode("utf8"))
+        digest.update(b"\x1f")
+    return f"llm-{digest.hexdigest()}"
+
+
+# -- exact trace (de)serialization --------------------------------------------
+
+
+def _encode_array(arr: np.ndarray) -> dict:
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(record: dict) -> np.ndarray:
+    raw = base64.b64decode(record["b64"].encode("ascii"))
+    arr = np.frombuffer(raw, dtype=np.dtype(record["dtype"]))
+    # copy(): frombuffer yields a read-only view over the bytes object.
+    return arr.reshape(record["shape"]).copy()
+
+
+def trace_to_record(trace: GenerationTrace) -> dict:
+    """A JSON-able, bit-exact record of one generation trace."""
+    return {
+        "instance_id": trace.instance_id,
+        "aborted": bool(trace.aborted),
+        "steps": [
+            {
+                "position": int(step.position),
+                "proposed": step.proposed,
+                "hidden": _encode_array(step.hidden),
+                "max_prob": float(step.max_prob),
+                "item_index": int(step.item_index),
+                "within_index": int(step.within_index),
+                "is_branching": bool(step.is_branching),
+                "committed": step.committed,
+                "forced": bool(step.forced),
+            }
+            for step in trace.steps
+        ],
+    }
+
+
+def trace_from_record(record: dict) -> GenerationTrace:
+    """Rehydrate a trace; inverse of :func:`trace_to_record`."""
+    return GenerationTrace(
+        instance_id=record["instance_id"],
+        steps=[
+            GenerationStep(
+                position=step["position"],
+                proposed=step["proposed"],
+                hidden=_decode_array(step["hidden"]),
+                max_prob=step["max_prob"],
+                item_index=step["item_index"],
+                within_index=step["within_index"],
+                is_branching=step["is_branching"],
+                committed=step["committed"],
+                forced=step["forced"],
+            )
+            for step in record["steps"]
+        ],
+        aborted=record["aborted"],
+    )
+
+
+# -- the persistent cache -----------------------------------------------------
+
+
+class PersistentGenerationCache(GenerationCache):
+    """A :class:`GenerationCache` backed by an on-disk segment store.
+
+    Lookups fall through memory → disk → compute; computed values are
+    spilled to this instance's own segment so other processes (and
+    future runs) can reuse them. Stats distinguish ``hits`` (memory),
+    ``disk_hits`` (loaded from the store) and ``misses`` (new LLM
+    generations) — a warm sweep re-run must report zero misses.
+    """
+
+    def __init__(self, cache_dir: "str | Path", namespace: str = "default"):
+        super().__init__()
+        self.cache_dir = Path(cache_dir)
+        self.namespace = str(namespace)
+        self._disk_hits = 0
+        self._io_lock = threading.Lock()
+        self._disk_index: dict[str, dict] = {}  # address -> raw value record
+        self._offsets: dict[str, int] = {}  # segment name -> bytes consumed
+        self._segment_path: "Path | None" = None
+        self._handle = None
+        with self._io_lock:
+            self._refresh_locked()
+
+    @property
+    def directory(self) -> Path:
+        """This namespace's segment directory."""
+        return self.cache_dir / self.namespace
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses, disk_hits=self._disk_hits)
+
+    def address(self, key) -> str:
+        """The content address of one cache key within this namespace."""
+        digest = hashlib.blake2b(digest_size=16)
+        parts = key if isinstance(key, tuple) else (key,)
+        for part in (self.namespace, *parts):
+            digest.update(repr(part).encode("utf8"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
+    def get_or_compute(self, key, compute):
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                return self._data[key]
+        address = self.address(key)
+        value = self._from_disk(address)
+        if value is not _MISS:
+            with self._lock:
+                self._disk_hits += 1
+                self._data[key] = value
+            return value
+        with self._lock:
+            self._misses += 1
+        value = compute()  # computed outside the locks: misses run in parallel
+        with self._lock:
+            self._data[key] = value
+        self._spill(address, key, value)
+        return value
+
+    def clear(self) -> None:
+        """Reset in-memory state and every counter (including disk hits).
+
+        The on-disk store is deliberately untouched: entries are
+        immutable, so eviction means deleting the namespace directory
+        (see the module docstring). This instance's own segment is
+        retired (future spills open a new one) so its entries become
+        readable again; subsequent lookups reload from disk and count
+        as fresh ``disk_hits``.
+        """
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._segment_path = None
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+            self._disk_hits = 0
+
+    def disk_entries(self) -> int:
+        """Distinct addresses visible in the store right now."""
+        with self._io_lock:
+            self._refresh_locked()
+            return len(self._disk_index)
+
+    def close(self) -> None:
+        """Close this writer's segment handle (entries stay on disk)."""
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def compact(self) -> int:
+        """Merge every segment into one, dropping duplicate addresses.
+
+        Only safe while no other writer is active: concurrent writers
+        keep appending to unlinked segments and those entries are lost.
+        Returns the number of distinct entries kept.
+        """
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            # Re-read everything, including this instance's own segment.
+            self._segment_path = None
+            self._offsets.clear()
+            self._disk_index.clear()
+            self._refresh_locked()
+            directory = self.directory
+            if not directory.is_dir():
+                return 0
+            stale = sorted(directory.glob("*.jsonl"))
+            target = directory / f"c-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
+            with target.open("w", encoding="utf8", newline="\n") as handle:
+                for address in sorted(self._disk_index):
+                    entry = {"k": address, "v": self._disk_index[address]}
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            for path in stale:
+                if path != target:
+                    path.unlink(missing_ok=True)
+            self._offsets = {target.name: target.stat().st_size}
+            return len(self._disk_index)
+
+    # -- disk plumbing -------------------------------------------------------
+
+    def _from_disk(self, address: str):
+        with self._io_lock:
+            record = self._disk_index.get(address)
+            if record is None:
+                self._refresh_locked()
+                record = self._disk_index.get(address)
+        if record is None:
+            return _MISS
+        return trace_from_record(record)
+
+    def _refresh_locked(self) -> None:
+        """Pick up entries appended by other writers since the last scan."""
+        directory = self.directory
+        if not directory.is_dir():
+            return
+        for path in sorted(directory.glob("*.jsonl")):
+            if path == self._segment_path:
+                continue  # own writes are already in memory
+            consumed = self._offsets.get(path.name, 0)
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            if size <= consumed:
+                continue
+            with path.open("rb") as handle:
+                handle.seek(consumed)
+                for line in handle:
+                    if not line.endswith(b"\n"):
+                        break  # in-flight append; retry next refresh
+                    stripped = line.strip()
+                    if stripped:
+                        try:
+                            entry = json.loads(stripped.decode("utf8"))
+                        except (json.JSONDecodeError, UnicodeDecodeError):
+                            break  # torn write; retry next refresh
+                        self._disk_index[entry["k"]] = entry["v"]
+                    consumed += len(line)
+            self._offsets[path.name] = consumed
+
+    def _spill(self, address: str, key, value: GenerationTrace) -> None:
+        kind = key[0] if isinstance(key, tuple) and key else str(key)
+        entry = {"k": address, "kind": kind, "v": trace_to_record(value)}
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._io_lock:
+            if self._handle is None:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                name = f"w-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
+                self._segment_path = self.directory / name
+                self._handle = self._segment_path.open("a", encoding="utf8", newline="\n")
+            self._handle.write(line)
+            self._handle.flush()
+
+    # A cache shipped to a worker process reopens the same store fresh:
+    # its writes land in a new segment the parent picks up on refresh.
+    def __getstate__(self) -> dict:
+        return {"cache_dir": str(self.cache_dir), "namespace": self.namespace}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["cache_dir"], namespace=state["namespace"])

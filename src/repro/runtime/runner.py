@@ -67,7 +67,8 @@ class BatchResult:
     summary: dict
     n_resumed: int = 0
     n_evaluated: int = 0
-    cache_stats: "CacheStats | None" = None
+    cache_stats: "CacheStats | None" = None  # cumulative over the LLM's lifetime
+    cache_delta: "CacheStats | None" = None  # contributed by this run alone
     records: "list[dict]" = field(default_factory=list, repr=False)
 
     def __len__(self) -> int:
@@ -110,11 +111,15 @@ class BatchRunner:
         Artifact resume keys embed this so records computed under
         different seeds / oracle profiles are never silently reused.
         """
-        config = getattr(self.pipeline, "config", None)
+        identity_parts = getattr(self.pipeline, "identity_parts", None)
+        if callable(identity_parts):
+            identity = identity_parts()
+        else:  # proxy pipelines in tests; match RTSPipeline.identity_parts
+            config = getattr(self.pipeline, "config", None)
+            identity = (getattr(self.llm, "seed", None), getattr(config, "seed", None))
         parts = (
             mode,
-            getattr(self.llm, "seed", None),
-            getattr(config, "seed", None),
+            *identity,
             getattr(surrogate, "seed", None),
             getattr(getattr(human, "profile", None), "name", None),
             getattr(human, "seed", None),
@@ -140,6 +145,7 @@ class BatchRunner:
         Outcomes are *always* rehydrated from records (fresh and resumed
         alike), so a resumed run is bit-identical to an uninterrupted one.
         """
+        stats_before = self.cache_stats
         art = self._artifact(artifact)
         existing = art.load_records() if art is not None else {}
         resumed = {k: existing[k] for k in keys if k in existing}
@@ -161,8 +167,16 @@ class BatchRunner:
                 from_record(records[key], item) for key, item in zip(keys, items)
             ]
             summary = summarize(outcomes)
+            stats_after = self.cache_stats
+            delta = (
+                stats_after - stats_before
+                if stats_after is not None and stats_before is not None
+                else None
+            )
             if art is not None:
                 art.write_summary(summary)
+                if delta is not None:
+                    art.write_stats(delta)
         finally:
             if art is not None:
                 art.close()
@@ -171,7 +185,8 @@ class BatchRunner:
             summary=summary,
             n_resumed=len(resumed),
             n_evaluated=len(pending),
-            cache_stats=self.cache_stats,
+            cache_stats=stats_after,
+            cache_delta=delta,
             records=[records[key] for key in keys],
         )
 
