@@ -179,3 +179,48 @@ def test_bench_generation_cache_cold_vs_warm(benchmark, ctx):
         llm.generate(instance)
     benchmark(lambda: [llm.generate(i) for i in instances])
     assert llm.stats.hits > 0
+
+
+# -- generation service backends ----------------------------------------------
+#
+# Same uncached workload (free + teacher-forced traces over the dev
+# split) through both generation backends. Compare the "service" group's
+# rows: at tiny scale the async scheduler's per-batch overhead (queue
+# hops, wait windows, thread handoff) dominates, so this tracks that
+# overhead staying bounded; the coalescing wins show up with real
+# workloads (remote/batched backends, many concurrent submitters).
+# Output bytes must never differ between the rows (pinned by tests).
+
+
+@pytest.fixture(scope="module")
+def service_requests(ctx):
+    from repro.runtime.service import FORCED, FREE, GenerationRequest
+
+    bench = ctx.benchmark("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "table") for e in bench.dev.examples
+    ]
+    return [GenerationRequest(FREE, i) for i in instances] + [
+        GenerationRequest(FORCED, i) for i in instances
+    ]
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_simulator_backend(benchmark, service_requests):
+    from repro.runtime.service import SimulatorBackend
+
+    backend = SimulatorBackend(TransparentLLM(seed=11))
+    benchmark(lambda: backend.generate(service_requests))
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_async_batched_backend(benchmark, service_requests):
+    from repro.runtime.service import AsyncBatchedBackend, SimulatorBackend
+
+    with AsyncBatchedBackend(
+        SimulatorBackend(TransparentLLM(seed=11)),
+        max_batch=4,
+        max_wait_ms=1.0,
+        workers=4,
+    ) as backend:
+        benchmark(lambda: backend.generate(service_requests))

@@ -2,11 +2,13 @@
 # Local mirror of .github/workflows/ci.yml — the same gates, the same
 # commands, so "works on my machine" and "works in CI" are one claim.
 #
-#   scripts/dev.sh lint         # ruff check + format gate
-#   scripts/dev.sh test         # tier-1 pytest suite
-#   scripts/dev.sh bench-smoke  # micro-benchmarks once each + JSON artifact
-#   scripts/dev.sh sweep-smoke  # sharded sweep + warm-cache + merge identity
-#   scripts/dev.sh all          # everything, in CI order (the default)
+#   scripts/dev.sh lint          # ruff check + format gate
+#   scripts/dev.sh test          # tier-1 pytest suite
+#   scripts/dev.sh bench-smoke   # micro-benchmarks once each + JSON artifact
+#   scripts/dev.sh sweep-smoke   # sharded sweep + warm-cache + merge identity
+#   scripts/dev.sh service-smoke # simulator-vs-async byte identity + compacted
+#                                # SQLite-indexed warm run with zero misses
+#   scripts/dev.sh all           # everything, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -18,7 +20,7 @@ lint() {
   }
   ruff check src tests benchmarks examples
   # New subsystems hold the line on formatting; legacy files migrate over time.
-  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/helpers.py
+  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/helpers.py
 }
 
 tier1() {
@@ -81,11 +83,62 @@ PY
   echo "sweep-smoke passed: byte-identical merges, warm cache fully hit"
 }
 
+service_smoke() {
+  local out=out/service-smoke
+  rm -rf "$out"
+  mkdir -p "$out"
+  local axes=(--benchmark bird --split dev --task table --mode abstain
+              --scale tiny --limit 4 --workers 2)
+  # Same entry points as the installed console scripts.
+  run() {
+    python -c 'import sys; from repro.runtime.cli import main; sys.exit(main(sys.argv[1:]))' "$@"
+  }
+  cache() {
+    python -c 'import sys; from repro.runtime.cli import main_cache; sys.exit(main_cache(sys.argv[1:]))' "$@"
+  }
+
+  # One unit under each generation backend, independent cold caches.
+  run "${axes[@]}" --backend simulator --artifact "$out/sim.jsonl" \
+    --cache-dir "$out/gen-sim" > "$out/sim.json"
+  run "${axes[@]}" --backend async --max-batch 4 --max-wait-ms 2 \
+    --artifact "$out/async.jsonl" --cache-dir "$out/gen-async" > "$out/async.json"
+
+  # The backend axis must not change a single summary byte.
+  cmp "$out/sim.jsonl.summary.json" "$out/async.jsonl.summary.json"
+
+  # Compact the async store (builds the SQLite index tier), then a warm
+  # re-run against it: byte-identical summary, zero new generations.
+  cache stats --cache-dir "$out/gen-async" > "$out/cache-stats-before.json"
+  cache compact --cache-dir "$out/gen-async" > "$out/cache-compact.json"
+  cache stats --cache-dir "$out/gen-async" > "$out/cache-stats-after.json"
+  run "${axes[@]}" --backend async --artifact "$out/warm.jsonl" \
+    --cache-dir "$out/gen-async" > "$out/warm.json"
+  cmp "$out/sim.jsonl.summary.json" "$out/warm.jsonl.summary.json"
+
+  python - "$out" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+out = Path(sys.argv[1])
+warm = json.loads((out / "warm.json").read_text())["generation_cache"]
+assert warm["misses"] == 0, f"warm run recomputed generations: {warm}"
+assert warm["hit_rate"] == 1.0, f"warm hit rate not 100%: {warm}"
+stats = json.loads((out / "cache-stats-after.json").read_text())["namespaces"]
+(namespace,) = stats
+assert stats[namespace]["indexed"], f"compaction built no index: {stats}"
+assert stats[namespace]["segments"] == 1, f"compaction left segments: {stats}"
+print(f"service-smoke OK: warm={warm} store={stats[namespace]}")
+PY
+  echo "service-smoke passed: backends byte-identical, compacted+indexed warm run fully hit"
+}
+
 case "${1:-all}" in
   lint) lint ;;
   test) tier1 ;;
   bench-smoke) bench_smoke ;;
   sweep-smoke) sweep_smoke ;;
-  all) lint; tier1; bench_smoke; sweep_smoke ;;
-  *) echo "usage: scripts/dev.sh [lint|test|bench-smoke|sweep-smoke|all]" >&2; exit 2 ;;
+  service-smoke) service_smoke ;;
+  all) lint; tier1; bench_smoke; sweep_smoke; service_smoke ;;
+  *) echo "usage: scripts/dev.sh [lint|test|bench-smoke|sweep-smoke|service-smoke|all]" >&2; exit 2 ;;
 esac

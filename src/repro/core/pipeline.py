@@ -55,9 +55,13 @@ class RTSPipeline:
     ) -> "RTSPipeline":
         """Collect D_branch for ``task`` and train its mBPP.
 
-        ``pool`` optionally fans the teacher-forced trace collection out
-        over a :class:`~repro.runtime.pool.WorkerPool` (anything with an
-        order-preserving ``map_ordered``); training itself is serial.
+        An explicitly passed parallel ``pool`` (anything with an
+        order-preserving ``map_ordered``) always wins: per-instance
+        calls fan over it, and a caching LLM still serves each from its
+        service. Otherwise a service-backed LLM gets the whole batch in
+        one call (which the async backend coalesces into microbatches).
+        Training itself is serial; both paths yield bit-identical
+        traces in input order.
         """
         cfg = self.config
         if cfg.train_fraction < 1.0:
@@ -65,11 +69,15 @@ class RTSPipeline:
             n_keep = max(2, int(round(cfg.train_fraction * len(instances))))
             idx = rng.permutation(len(instances))[:n_keep]
             instances = [instances[int(i)] for i in sorted(idx)]
-        traces = (
-            pool.map_ordered(self.llm.teacher_forced_trace, instances)
-            if pool is not None
-            else None
-        )
+        collect = getattr(self.llm, "teacher_forced_traces", None)
+        if pool is not None and not getattr(pool, "is_serial", False):
+            traces = pool.map_ordered(self.llm.teacher_forced_trace, instances)
+        elif callable(collect):
+            traces = collect(instances)
+        elif pool is not None:
+            traces = pool.map_ordered(self.llm.teacher_forced_trace, instances)
+        else:
+            traces = None
         dataset = collect_branch_dataset(self.llm, instances, traces=traces)
         self._branch_datasets[task] = dataset
         self._mbpps[task] = MultiLayerBPP.train(

@@ -6,14 +6,19 @@ datasets, linking outcomes — so the thirteen experiment runners can share
 them within one process (the report runner and the benchmark suite rely
 on this). All bulk evaluation routes through the
 :class:`~repro.runtime.runner.BatchRunner` returned by :meth:`runner`,
-and the LLM is wrapped in a :class:`~repro.runtime.cache.CachingLLM` so
-repeated generations across tables/figures are computed once.
+and the LLM is a :class:`~repro.runtime.cache.CachingLLM` adapter over
+a :class:`~repro.runtime.service.GenerationService`, so repeated
+generations across tables/figures are computed once and the execution
+backend is swappable (``gen_backend="simulator"`` for direct in-process
+calls, ``"async"`` for microbatch-coalescing asyncio scheduling — both
+byte-identical by construction).
 
 With ``cache_dir`` (or the ``REPRO_CACHE_DIR`` environment variable via
-:meth:`ExperimentContext.default`), the generation cache is a
+:meth:`ExperimentContext.default`), the service's cache tiers include a
 :class:`~repro.runtime.persist.PersistentGenerationCache`: generations
 spill to disk and every driver, sweep shard and re-run sharing that
-directory reuses them instead of recomputing.
+directory reuses them instead of recomputing (O(1) cold lookups once
+``repro-cache compact`` has built the SQLite index tier).
 """
 
 from __future__ import annotations
@@ -35,9 +40,9 @@ from repro.linking.dataset import BranchDataset
 from repro.linking.instance import SchemaLinkingInstance
 from repro.llm.model import TransparentLLM
 from repro.runtime.cache import CachingLLM, GenerationCache
-from repro.runtime.persist import PersistentGenerationCache, generation_namespace
 from repro.runtime.pool import THREAD, WorkerPool
 from repro.runtime.runner import BatchRunner
+from repro.runtime.service import SIMULATOR, GenerationService
 from repro.utils.tabulate import render_table
 
 __all__ = ["ExperimentContext", "ExperimentResult", "DATASETS"]
@@ -112,6 +117,10 @@ class ExperimentContext:
         backend: str = THREAD,
         cache: "GenerationCache | None" = None,
         cache_dir: "str | Path | None" = None,
+        gen_backend: str = SIMULATOR,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        service: "GenerationService | None" = None,
     ):
         self.corpus_seed = corpus_seed
         self.llm_seed = llm_seed
@@ -119,7 +128,11 @@ class ExperimentContext:
         self.scale = scale or CorpusScale.small()
         self.workers = workers
         self.backend = backend
+        self.gen_backend = gen_backend
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
         self._cache = cache
+        self._service = service
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._benchmarks: dict[str, Benchmark] = {}
         self._pipelines: dict[str, RTSPipeline] = {}
@@ -153,15 +166,39 @@ class ExperimentContext:
     @property
     def llm(self) -> CachingLLM:
         if self._llm is None:
-            base = TransparentLLM(seed=self.llm_seed)
-            cache = self._cache
-            if cache is None and self.cache_dir is not None:
-                cache = PersistentGenerationCache(
-                    self.cache_dir,
-                    namespace=generation_namespace(base.config, base.seed),
+            if self._service is not None:
+                # A shared, pre-wired service (e.g. one sweep runner's
+                # service spanning every per-seed context).
+                self._llm = CachingLLM(service=self._service)
+            else:
+                base = TransparentLLM(seed=self.llm_seed)
+                self._service = GenerationService.build(
+                    base,
+                    gen_backend=self.gen_backend,
+                    cache=self._cache,
+                    cache_dir=self.cache_dir,
+                    pool=self.pool,
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms,
+                    workers=max(1, self.workers),
                 )
-            self._llm = CachingLLM(base, cache=cache)
+                self._llm = CachingLLM(base, service=self._service)
         return self._llm
+
+    @property
+    def service(self) -> GenerationService:
+        """The generation service every consumer in this context shares."""
+        return self.llm.service
+
+    def close(self) -> None:
+        """Shut down the generation service — only if one was ever built.
+
+        Deliberately does not construct the LLM just to close it (and
+        so never raises on a half-initialized context); safe to call
+        from ``finally`` blocks.
+        """
+        if self._service is not None:
+            self._service.close()
 
     @property
     def pool(self) -> WorkerPool:

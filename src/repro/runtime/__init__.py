@@ -13,21 +13,28 @@ This package provides the shared substrate for doing that at scale:
   checkpoints and aggregate TAR/FAR/abstention summaries;
 * :mod:`repro.runtime.runner` — the `BatchRunner` that ties them
   together;
+* :mod:`repro.runtime.service` — the backend-agnostic
+  `GenerationService`: a `GenerationBackend` protocol with
+  `SimulatorBackend` (direct simulator calls) and `AsyncBatchedBackend`
+  (asyncio microbatch coalescing with backpressure) implementations,
+  composed with the tiered cache (L1 memory → L2 segments → L3 SQLite
+  index) that every consumer layer now routes generations through;
 * :mod:`repro.runtime.persist` — the cross-process
   `PersistentGenerationCache` (content-addressed JSONL segment store,
-  safe concurrent writers) that lets separate shards and re-runs reuse
-  generations through the filesystem;
+  safe concurrent writers, compacted SQLite index tier) that lets
+  separate shards and re-runs reuse generations through the filesystem;
 * :mod:`repro.runtime.sweep` — `SweepSpec` / `ShardPlan` /
   `SweepRunner` / `merge_sweep`: deterministic sharding of multi-axis
   evaluation matrices with byte-identical merged summaries;
-* :mod:`repro.runtime.cli` — the ``repro-run`` and ``repro-sweep``
-  console entry points.
+* :mod:`repro.runtime.cli` — the ``repro-run``, ``repro-sweep`` and
+  ``repro-cache`` console entry points.
 
 Every path is deterministic: a batch run with ``workers=4`` produces
-byte-identical aggregate metrics to the serial fallback, and a sweep
-split into N shards merges byte-identically to the unsharded run,
-because all randomness in the library is derived from named streams,
-never from execution order or process boundaries.
+byte-identical aggregate metrics to the serial fallback, a sweep split
+into N shards merges byte-identically to the unsharded run, and the
+``simulator`` and ``async`` generation backends produce byte-identical
+summaries, because all randomness in the library is derived from named
+streams, never from execution order, batching or process boundaries.
 """
 
 from repro.runtime.artifacts import (
@@ -37,9 +44,24 @@ from repro.runtime.artifacts import (
     summarize_link,
 )
 from repro.runtime.cache import CacheStats, CachingLLM, GenerationCache, instance_key
-from repro.runtime.persist import PersistentGenerationCache, generation_namespace
+from repro.runtime.persist import (
+    PersistentGenerationCache,
+    SqliteSegmentIndex,
+    generation_namespace,
+    store_stats,
+)
 from repro.runtime.pool import BACKENDS, PROCESS, SERIAL, THREAD, WorkerPool
 from repro.runtime.runner import BatchResult, BatchRunner
+from repro.runtime.service import (
+    ASYNC,
+    GEN_BACKENDS,
+    SIMULATOR,
+    AsyncBatchedBackend,
+    GenerationBackend,
+    GenerationRequest,
+    GenerationService,
+    SimulatorBackend,
+)
 from repro.runtime.sweep import (
     ShardPlan,
     SweepRunner,
@@ -50,17 +72,26 @@ from repro.runtime.sweep import (
 )
 
 __all__ = [
+    "ASYNC",
     "BACKENDS",
     "BatchResult",
     "BatchRunner",
     "CacheStats",
     "CachingLLM",
+    "GEN_BACKENDS",
+    "GenerationBackend",
     "GenerationCache",
+    "GenerationRequest",
+    "GenerationService",
+    "AsyncBatchedBackend",
     "PROCESS",
     "PersistentGenerationCache",
     "RunArtifact",
     "SERIAL",
+    "SIMULATOR",
     "ShardPlan",
+    "SimulatorBackend",
+    "SqliteSegmentIndex",
     "SweepRunner",
     "SweepSpec",
     "SweepUnit",
@@ -71,6 +102,7 @@ __all__ = [
     "link_record",
     "merge_sweep",
     "run_sweep",
+    "store_stats",
     "summarize_joint",
     "summarize_link",
 ]

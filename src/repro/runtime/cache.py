@@ -27,6 +27,9 @@ from repro.utils.rng import stable_hash
 
 __all__ = ["instance_key", "CacheStats", "GenerationCache", "CachingLLM"]
 
+# Sentinel distinguishing "no cached value" from a cached None.
+_MISS = object()
+
 
 def instance_key(instance: SchemaLinkingInstance) -> str:
     """A stable, collision-resistant identity for one generation input."""
@@ -140,6 +143,38 @@ class GenerationCache:
             self._data[key] = value
         return value
 
+    # -- tier primitives (driven by runtime.service.GenerationService) -------
+
+    def probe(self, key):
+        """The cached value, counting a hit — or the ``_MISS`` sentinel.
+
+        Unlike :meth:`get_or_compute` a probe miss counts nothing: the
+        service attributes the fall-through to whichever tier (disk,
+        backend) ends up serving the lookup, via :meth:`admit`.
+        """
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                return self._data[key]
+        return _MISS
+
+    def admit(self, key, value, *, miss: bool = False, disk_hit: bool = False) -> None:
+        """Store a value resolved elsewhere, attributing the lookup.
+
+        ``miss=True`` records a backend computation, ``disk_hit=True`` a
+        promotion from a colder tier (meaningful on persistent caches;
+        counted here so plain in-memory caches stay drop-compatible).
+        """
+        with self._lock:
+            self._data[key] = value
+            if miss:
+                self._misses += 1
+            if disk_hit:
+                self._disk_hit_count()
+
+    def _disk_hit_count(self) -> None:  # overridden by the persistent cache
+        pass
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -159,17 +194,39 @@ class GenerationCache:
 
 
 class CachingLLM:
-    """A :class:`TransparentLLM` wrapper that memoizes whole generations.
+    """A :class:`TransparentLLM`-shaped adapter over a `GenerationService`.
 
     ``generate`` (free running) and ``teacher_forced_trace`` (the §3.1
-    label-collection protocol) are cached per instance; token-by-token
-    sessions are inherently stateful and always start fresh. The wrapper
-    is a drop-in replacement anywhere a ``TransparentLLM`` is expected.
+    label-collection protocol) route through the service — cache tiers
+    first, then the configured backend; token-by-token sessions are
+    inherently stateful and always start fresh on the base simulator.
+    The adapter is a drop-in replacement anywhere a ``TransparentLLM``
+    is expected, and ``CachingLLM(llm, cache=...)`` keeps its historical
+    meaning by wiring a :class:`~repro.runtime.service.SimulatorBackend`
+    service over that cache.
     """
 
-    def __init__(self, llm: TransparentLLM, cache: "GenerationCache | None" = None):
-        self.llm = llm
-        self.cache = cache if cache is not None else GenerationCache()
+    def __init__(
+        self,
+        llm: "TransparentLLM | None" = None,
+        cache: "GenerationCache | None" = None,
+        service=None,
+    ):
+        if service is None:
+            # Local import: service builds on this module's primitives.
+            from repro.runtime.service import GenerationService, SimulatorBackend
+
+            if llm is None:
+                raise ValueError("CachingLLM needs an llm or a service")
+            service = GenerationService(SimulatorBackend(llm), cache=cache)
+        elif cache is not None and cache is not service.cache:
+            raise ValueError("pass either a service or a cache, not both")
+        elif llm is not None and llm is not service.base_llm:
+            # Sessions would run one model while cached traces come
+            # from another — never a coherent adapter.
+            raise ValueError("llm does not match the service's base LLM")
+        self.service = service
+        self.llm = llm if llm is not None else service.base_llm
 
     # -- delegated surface ---------------------------------------------------
 
@@ -198,17 +255,33 @@ class CachingLLM:
     # -- cached generation ---------------------------------------------------
 
     @property
+    def cache(self) -> GenerationCache:
+        return self.service.cache
+
+    @property
     def stats(self) -> CacheStats:
-        return self.cache.stats
+        return self.service.stats
 
     def generate(self, instance: SchemaLinkingInstance) -> GenerationTrace:
-        key = ("free", instance_key(instance))
-        return self.cache.get_or_compute(key, lambda: self.llm.generate(instance))
+        from repro.runtime.service import FREE, GenerationRequest
+
+        return self.service.generate_one(GenerationRequest(FREE, instance))
 
     def teacher_forced_trace(
         self, instance: SchemaLinkingInstance
     ) -> GenerationTrace:
-        key = ("forced", instance_key(instance))
-        return self.cache.get_or_compute(
-            key, lambda: self.llm.teacher_forced_trace(instance)
-        )
+        from repro.runtime.service import FORCED, GenerationRequest
+
+        return self.service.generate_one(GenerationRequest(FORCED, instance))
+
+    # -- batched generation (coalesced by the async backend) -----------------
+
+    def generate_many(
+        self, instances: "Iterable[SchemaLinkingInstance]"
+    ) -> "list[GenerationTrace]":
+        return self.service.free_traces(instances)
+
+    def teacher_forced_traces(
+        self, instances: "Iterable[SchemaLinkingInstance]"
+    ) -> "list[GenerationTrace]":
+        return self.service.forced_traces(instances)

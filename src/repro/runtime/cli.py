@@ -1,11 +1,16 @@
-"""``repro-run`` and ``repro-sweep`` — batched evaluation from the CLI.
+"""``repro-run``, ``repro-sweep`` and ``repro-cache`` from the shell.
 
 Examples
 --------
-Link-level sweep with four threads, streaming a resumable artifact::
+Link-level sweep with four threads, streaming a resumable artifact; the
+``--backend`` axis picks the generation backend (``simulator`` for
+direct in-process calls, ``async`` for microbatch-coalescing asyncio
+scheduling — byte-identical summaries either way), and ``--cache-dir``
+(defaulting to ``$REPRO_CACHE_DIR``) shares the persistent generation
+store with sweeps and the table/figure drivers::
 
     repro-run --benchmark bird --split dev --task table --mode abstain \
-        --workers 4 --artifact out/bird-table.jsonl
+        --workers 4 --backend async --artifact out/bird-table.jsonl
 
 Joint table→column sweep with the expert human in the loop::
 
@@ -17,22 +22,33 @@ are loaded from the artifact and only the remainder is evaluated.
 Multi-axis matrices shard across machines with ``repro-sweep``: every
 invocation below may run on a different host against a shared
 filesystem, and generations are reused across all of them through the
-persistent cache under ``--cache-dir``::
+persistent cache under ``--cache-dir``. ``--progress`` streams per-unit
+completion lines to stderr (stdout stays pure JSON)::
 
     repro-sweep run --benchmarks bird spider --modes abstain human \
         --shard-index 0 --shard-count 2 --out out/sweep --cache-dir out/gen
     repro-sweep run --benchmarks bird spider --modes abstain human \
-        --shard-index 1 --shard-count 2 --out out/sweep --cache-dir out/gen
+        --shard-index 1 --shard-count 2 --out out/sweep --cache-dir out/gen \
+        --progress
     repro-sweep merge --out out/sweep
 
 The merged ``sweep-summary.json`` is byte-identical however the sweep
 was sharded; ``repro-sweep plan`` previews the shard assignment.
+
+``repro-cache`` inspects and maintains the store itself: ``stats``
+reports per-namespace segment/entry/kind tallies, ``compact`` folds all
+segments into one and builds the SQLite index tier for O(1) cold
+lookups::
+
+    repro-cache stats --cache-dir out/gen
+    repro-cache compact --cache-dir out/gen
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.config import ABSTAIN, HUMAN, MITIGATION_MODES, SURROGATE
@@ -40,6 +56,7 @@ from repro.corpus.generator import CorpusScale
 from repro.experiments.common import ExperimentContext
 from repro.runtime.artifacts import strict_jsonable
 from repro.runtime.pool import BACKENDS, THREAD, default_workers
+from repro.runtime.service import GEN_BACKENDS, SIMULATOR
 from repro.runtime.sweep import (
     BENCHMARKS,
     SCALES as SWEEP_SCALES,
@@ -51,7 +68,14 @@ from repro.runtime.sweep import (
     merge_sweep,
 )
 
-__all__ = ["build_parser", "main", "build_sweep_parser", "main_sweep"]
+__all__ = [
+    "build_parser",
+    "main",
+    "build_sweep_parser",
+    "main_sweep",
+    "build_cache_parser",
+    "main_cache",
+]
 
 SCALES = ("tiny", "small")
 
@@ -61,6 +85,42 @@ def positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return parsed
+
+
+def nonnegative_float(value: str) -> float:
+    parsed = float(value)
+    if not parsed >= 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
+def _default_cache_dir() -> "str | None":
+    """``--cache-dir`` default: the driver-shared ``REPRO_CACHE_DIR``."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The generation-backend axis, shared by repro-run and repro-sweep."""
+    backend = parser.add_argument_group("generation backend")
+    backend.add_argument(
+        "--backend",
+        choices=GEN_BACKENDS,
+        default=SIMULATOR,
+        help="generation backend: direct simulator calls or the "
+        "microbatch-coalescing async scheduler (byte-identical results)",
+    )
+    backend.add_argument(
+        "--max-batch",
+        type=positive_int,
+        default=8,
+        help="async backend: max requests coalesced into one microbatch",
+    )
+    backend.add_argument(
+        "--max-wait-ms",
+        type=nonnegative_float,
+        default=2.0,
+        help="async backend: max milliseconds a microbatch waits to fill",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,7 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--mode", choices=sorted(MITIGATION_MODES), default=ABSTAIN)
     parser.add_argument("--workers", type=positive_int, default=default_workers())
-    parser.add_argument("--backend", choices=BACKENDS, default=THREAD)
+    parser.add_argument(
+        "--pool",
+        choices=BACKENDS,
+        default=THREAD,
+        help="worker-pool execution backend for per-example evaluation",
+    )
+    _add_backend_arguments(parser)
+    parser.add_argument(
+        "--cache-dir",
+        default=_default_cache_dir(),
+        help="persistent generation cache shared with sweeps and drivers "
+        "(default: $REPRO_CACHE_DIR)",
+    )
     parser.add_argument(
         "--scale",
         choices=SCALES,
@@ -113,49 +185,58 @@ def main(argv: "list[str] | None" = None) -> int:
         rts_seed=args.rts_seed,
         scale=scale,
         workers=args.workers,
-        backend=args.backend,
+        backend=args.pool,
+        cache_dir=args.cache_dir,
+        gen_backend=args.backend,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
     )
-    benchmark = ctx.benchmark(args.benchmark)
-    runner = ctx.runner(args.benchmark)
-    surrogate = ctx.surrogate(args.benchmark) if args.mode == SURROGATE else None
-    human = ctx.human() if args.mode == HUMAN else None
+    try:
+        benchmark = ctx.benchmark(args.benchmark)
+        runner = ctx.runner(args.benchmark)
+        surrogate = ctx.surrogate(args.benchmark) if args.mode == SURROGATE else None
+        human = ctx.human() if args.mode == HUMAN else None
 
-    if args.joint:
-        examples = list(benchmark.split(args.split))[: args.limit]
-        result = runner.run_joint(
-            examples,
-            benchmark,
-            mode=args.mode,
-            surrogate=surrogate,
-            human=human,
-            artifact=args.artifact,
-        )
-    else:
-        instances = ctx.instances(args.benchmark, args.split, args.task)[: args.limit]
-        result = runner.run_link(
-            instances,
-            mode=args.mode,
-            surrogate=surrogate,
-            human=human,
-            artifact=args.artifact,
-        )
+        if args.joint:
+            examples = list(benchmark.split(args.split))[: args.limit]
+            result = runner.run_joint(
+                examples,
+                benchmark,
+                mode=args.mode,
+                surrogate=surrogate,
+                human=human,
+                artifact=args.artifact,
+            )
+        else:
+            instances = ctx.instances(args.benchmark, args.split, args.task)
+            result = runner.run_link(
+                instances[: args.limit],
+                mode=args.mode,
+                surrogate=surrogate,
+                human=human,
+                artifact=args.artifact,
+            )
 
-    payload = {
-        "benchmark": args.benchmark,
-        "split": args.split,
-        "task": "joint" if args.joint else args.task,
-        "mode": args.mode,
-        "workers": runner.pool.workers,
-        "backend": runner.pool.backend,
-        "n_resumed": result.n_resumed,
-        "n_evaluated": result.n_evaluated,
-        "summary": result.summary,
-    }
-    if result.cache_stats is not None:
-        payload["generation_cache"] = result.cache_stats.as_dict()
-    json.dump(strict_jsonable(payload), sys.stdout, indent=2, sort_keys=True)
-    sys.stdout.write("\n")
-    return 0
+        payload = {
+            "benchmark": args.benchmark,
+            "split": args.split,
+            "task": "joint" if args.joint else args.task,
+            "mode": args.mode,
+            "workers": runner.pool.workers,
+            "pool": runner.pool.backend,
+            "backend": args.backend,
+            "cache_dir": args.cache_dir,
+            "n_resumed": result.n_resumed,
+            "n_evaluated": result.n_evaluated,
+            "summary": result.summary,
+        }
+        if result.cache_stats is not None:
+            payload["generation_cache"] = result.cache_stats.as_dict()
+        json.dump(strict_jsonable(payload), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    finally:
+        ctx.close()
 
 
 # -- repro-sweep --------------------------------------------------------------
@@ -218,11 +299,24 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", required=True, help="sweep output directory")
     run.add_argument(
         "--cache-dir",
-        default=None,
-        help="persistent generation cache shared across shards and re-runs",
+        default=_default_cache_dir(),
+        help="persistent generation cache shared across shards and re-runs "
+        "(default: $REPRO_CACHE_DIR)",
     )
     run.add_argument("--workers", type=positive_int, default=1)
-    run.add_argument("--backend", choices=BACKENDS, default=THREAD)
+    run.add_argument(
+        "--pool",
+        choices=BACKENDS,
+        default=THREAD,
+        help="worker-pool execution backend for per-example evaluation",
+    )
+    _add_backend_arguments(run)
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-unit completion lines (id, examples, tier hit "
+        "rates) to stderr; JSON artifacts are unaffected",
+    )
 
     plan = commands.add_parser("plan", help="preview the shard assignment")
     _add_spec_arguments(plan)
@@ -264,15 +358,125 @@ def main_sweep(argv: "list[str] | None" = None) -> int:
         )
         return 0
 
+    def progress_line(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
     runner = SweepRunner(
         spec,
         args.out,
         cache_dir=args.cache_dir,
         workers=args.workers,
-        backend=args.backend,
+        pool=args.pool,
+        gen_backend=args.backend,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        progress=progress_line if args.progress else None,
     )
-    manifest = runner.run_shard(args.shard_index, args.shard_count)
+    try:
+        manifest = runner.run_shard(args.shard_index, args.shard_count)
+    finally:
+        if runner.service is not None:
+            runner.service.close()
     _emit(manifest)
+    return 0
+
+
+# -- repro-cache --------------------------------------------------------------
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Inspect and maintain the persistent generation store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser(
+        "stats", help="per-namespace segment/entry/kind/index tallies"
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=_default_cache_dir(),
+        help="store root (default: $REPRO_CACHE_DIR)",
+    )
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold each namespace's segments into one, dropping duplicates "
+        "and building the SQLite index tier (only while no writer is active)",
+    )
+    compact.add_argument(
+        "--cache-dir",
+        default=_default_cache_dir(),
+        help="store root (default: $REPRO_CACHE_DIR)",
+    )
+    compact.add_argument(
+        "--namespace",
+        default=None,
+        help="compact one namespace only (default: every namespace)",
+    )
+    compact.add_argument(
+        "--no-index",
+        action="store_true",
+        help="skip building the SQLite index tier (segment scans only)",
+    )
+    return parser
+
+
+def main_cache(argv: "list[str] | None" = None) -> int:
+    from pathlib import Path
+
+    from repro.runtime.persist import INDEX_NAME, PersistentGenerationCache, store_stats
+
+    parser = build_cache_parser()
+    args = parser.parse_args(argv)
+    if args.cache_dir is None:
+        parser.error("--cache-dir is required (or set REPRO_CACHE_DIR)")
+
+    if args.command == "stats":
+        _emit(store_stats(args.cache_dir))
+        return 0
+
+    cache_dir = Path(args.cache_dir)
+    present = (
+        sorted(p.name for p in cache_dir.iterdir() if p.is_dir())
+        if cache_dir.is_dir()
+        else []
+    )
+    if args.namespace is not None:
+        if args.namespace not in present:
+            parser.error(
+                f"namespace {args.namespace!r} not found under {cache_dir}"
+            )
+        targets = [args.namespace]
+    else:
+        targets = present
+    # One record-parsing scan of the target namespaces only (the
+    # "before" report); compact() below does the rewrite's own scan,
+    # and the "after" numbers are stat()-sized, never re-parsed.
+    before = store_stats(cache_dir, namespaces=targets)["namespaces"]
+    compacted: dict = {}
+    for namespace in targets:
+        cache = PersistentGenerationCache(
+            cache_dir, namespace=namespace, use_index=not args.no_index
+        )
+        kept = cache.compact(index=not args.no_index)
+        directory = cache.directory
+        cache.close()
+        # stat() sizes only — no second record-parsing scan of the store.
+        bytes_after = sum(p.stat().st_size for p in directory.glob("*.jsonl"))
+        index_path = directory / INDEX_NAME
+        if index_path.is_file():
+            bytes_after += index_path.stat().st_size
+        compacted[namespace] = {
+            "entries": kept,
+            "segments_before": before[namespace]["segments"],
+            "records_before": before[namespace]["records"],
+            "bytes_before": before[namespace]["bytes"],
+            "bytes_after": bytes_after,
+            "indexed": not args.no_index,
+        }
+    _emit({"cache_dir": str(cache_dir), "compacted": compacted})
     return 0
 
 

@@ -42,6 +42,20 @@ bit-identical to the one computed — which is what makes sharded sweeps
 byte-identical to unsharded ones even when probes are trained from
 cached traces.
 
+The SQLite index tier
+---------------------
+Cold lookups normally scan whole segments into memory — O(store size)
+on first touch, which is the right trade for small stores but not for
+millions of entries. :meth:`PersistentGenerationCache.compact` therefore
+also writes ``index.sqlite`` next to the compacted segment: an
+``address → (segment, offset, length)`` map (plus the byte size of the
+segment it covers). Readers skip scanning indexed segments entirely and
+serve their entries by O(1) point lookup + seek — only segments written
+*after* the compaction are ever scanned. The index is rebuilt on every
+compaction (written to a temp file and atomically renamed), so a stale
+index can never shadow newer entries: anything not in the index is
+found by the ordinary tail scan.
+
 Eviction
 --------
 None, by design: entries are content-addressed and immutable, so the
@@ -57,22 +71,26 @@ import base64
 import hashlib
 import json
 import os
+import sqlite3
 import threading
 from pathlib import Path
 
 import numpy as np
 
 from repro.llm.model import GenerationStep, GenerationTrace
-from repro.runtime.cache import CacheStats, GenerationCache
+from repro.runtime.cache import _MISS, CacheStats, GenerationCache
 
 __all__ = [
+    "INDEX_NAME",
     "PersistentGenerationCache",
+    "SqliteSegmentIndex",
     "generation_namespace",
+    "store_stats",
     "trace_to_record",
     "trace_from_record",
 ]
 
-_MISS = object()
+INDEX_NAME = "index.sqlite"
 
 
 def generation_namespace(config, seed: int) -> str:
@@ -151,6 +169,143 @@ def trace_from_record(record: dict) -> GenerationTrace:
     )
 
 
+# -- the compacted SQLite index tier ------------------------------------------
+
+
+class SqliteSegmentIndex:
+    """O(1) ``address → (segment, offset, length)`` lookups over a store.
+
+    Built by :meth:`PersistentGenerationCache.compact` over the freshly
+    compacted segment; readers resolve an address to an exact byte range
+    and seek-read just that line instead of scanning the segment. The
+    index also records the byte size of every segment it covers so scans
+    can skip them wholesale (see the module docstring).
+    """
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+        self.path = self.directory / INDEX_NAME
+        self._conn: "sqlite3.Connection | None" = None
+        self._lock = threading.Lock()
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def _connection(self) -> sqlite3.Connection:
+        # Guarded by self._lock at every call site; one shared read-only
+        # connection is plenty (lookups are sub-millisecond point reads).
+        # mode=ro is load-bearing: a plain connect() to a just-deleted
+        # path would *create* an empty database, permanently poisoning
+        # the namespace for every future exists() check.
+        if self._conn is None:
+            uri = self.path.resolve().as_uri()  # as_uri needs an absolute path
+            self._conn = sqlite3.connect(
+                f"{uri}?mode=ro", uri=True, check_same_thread=False
+            )
+        return self._conn
+
+    def covered_segments(self) -> "dict[str, int]":
+        """Segment name → byte size at index-build time ({} on error)."""
+        with self._lock:
+            try:
+                rows = self._connection().execute("SELECT name, size FROM segments")
+                return {name: int(size) for name, size in rows}
+            except sqlite3.Error:
+                return {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            try:
+                row = (
+                    self._connection()
+                    .execute("SELECT COUNT(*) FROM entries")
+                    .fetchone()
+                )
+                return int(row[0])
+            except sqlite3.Error:
+                return 0
+
+    def addresses(self) -> "set[str]":
+        with self._lock:
+            try:
+                rows = self._connection().execute("SELECT address FROM entries")
+                return {address for (address,) in rows}
+            except sqlite3.Error:
+                return set()
+
+    def lookup(self, address: str) -> "dict | None":
+        """The raw store entry for ``address``, or None if unindexed."""
+        with self._lock:
+            try:
+                row = (
+                    self._connection()
+                    .execute(
+                        "SELECT segment, offset, length FROM entries WHERE address = ?",
+                        (address,),
+                    )
+                    .fetchone()
+                )
+            except sqlite3.Error:
+                row = None
+        if row is None:
+            return None
+        segment, offset, length = row
+        try:
+            with (self.directory / segment).open("rb") as handle:
+                handle.seek(int(offset))
+                blob = handle.read(int(length))
+            return json.loads(blob.decode("utf8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # The indexed segment vanished or was rewritten under us (a
+            # concurrent compaction, which the store documents as
+            # unsafe); fail soft — the caller falls back to recompute.
+            return None
+
+    @classmethod
+    def build(
+        cls,
+        directory: "str | Path",
+        rows: "list[tuple[str, str, int, int]]",
+        segments: "list[tuple[str, int]]",
+    ) -> "SqliteSegmentIndex":
+        """Write the index atomically (temp file + rename).
+
+        ``rows`` are ``(address, segment, offset, length)`` tuples;
+        ``segments`` are ``(name, size)`` for every covered segment.
+        """
+        directory = Path(directory)
+        tmp = directory / f"{INDEX_NAME}.tmp-{os.getpid()}-{os.urandom(4).hex()}"
+        conn = sqlite3.connect(tmp)
+        try:
+            conn.executescript(
+                """
+                CREATE TABLE entries (
+                    address TEXT PRIMARY KEY,
+                    segment TEXT NOT NULL,
+                    offset INTEGER NOT NULL,
+                    length INTEGER NOT NULL
+                );
+                CREATE TABLE segments (
+                    name TEXT PRIMARY KEY,
+                    size INTEGER NOT NULL
+                );
+                """
+            )
+            conn.executemany("INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)", rows)
+            conn.executemany("INSERT OR REPLACE INTO segments VALUES (?, ?)", segments)
+            conn.commit()
+        finally:
+            conn.close()
+        tmp.replace(directory / INDEX_NAME)
+        return cls(directory)
+
+
 # -- the persistent cache -----------------------------------------------------
 
 
@@ -164,18 +319,27 @@ class PersistentGenerationCache(GenerationCache):
     generations) — a warm sweep re-run must report zero misses.
     """
 
-    def __init__(self, cache_dir: "str | Path", namespace: str = "default"):
+    def __init__(
+        self,
+        cache_dir: "str | Path",
+        namespace: str = "default",
+        use_index: bool = True,
+    ):
         super().__init__()
         self.cache_dir = Path(cache_dir)
         self.namespace = str(namespace)
+        self.use_index = bool(use_index)
         self._disk_hits = 0
         self._io_lock = threading.Lock()
         self._disk_index: dict[str, dict] = {}  # address -> raw value record
         self._offsets: dict[str, int] = {}  # segment name -> bytes consumed
         self._segment_path: "Path | None" = None
         self._handle = None
-        with self._io_lock:
-            self._refresh_locked()
+        self._index: "SqliteSegmentIndex | None" = None
+        # No eager store scan: every read path (probe_disk, _from_disk,
+        # disk_entries) refreshes on demand, so construction is O(1) —
+        # maintenance flows like `repro-cache compact` never pay for an
+        # in-memory index they won't use.
 
     @property
     def directory(self) -> Path:
@@ -236,11 +400,24 @@ class PersistentGenerationCache(GenerationCache):
             self._misses = 0
             self._disk_hits = 0
 
+    def admit(self, key, value, *, miss: bool = False, disk_hit: bool = False) -> None:
+        """Store a service-resolved value; backend misses spill to disk."""
+        super().admit(key, value, miss=miss, disk_hit=disk_hit)
+        if miss:
+            self._spill(self.address(key), key, value)
+
+    def _disk_hit_count(self) -> None:  # called under self._lock
+        self._disk_hits += 1
+
     def disk_entries(self) -> int:
         """Distinct addresses visible in the store right now."""
         with self._io_lock:
             self._refresh_locked()
-            return len(self._disk_index)
+            addresses = set(self._disk_index)
+            index = self._index_locked()
+            if index is not None:
+                addresses |= index.addresses()
+            return len(addresses)
 
     def close(self) -> None:
         """Close this writer's segment handle (entries stay on disk)."""
@@ -248,78 +425,137 @@ class PersistentGenerationCache(GenerationCache):
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+            if self._index is not None:
+                self._index.close()
+                self._index = None
 
-    def compact(self) -> int:
+    def compact(self, index: "bool | None" = None) -> int:
         """Merge every segment into one, dropping duplicate addresses.
 
         Only safe while no other writer is active: concurrent writers
         keep appending to unlinked segments and those entries are lost.
-        Returns the number of distinct entries kept.
+        By default (``index=None`` → this cache's ``use_index``) a
+        :class:`SqliteSegmentIndex` is rebuilt over the compacted
+        segment so cold lookups become O(1) point reads instead of full
+        segment scans. Returns the number of distinct entries kept.
         """
+        build_index = self.use_index if index is None else bool(index)
         with self._io_lock:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
-            # Re-read everything, including this instance's own segment.
             self._segment_path = None
-            self._offsets.clear()
-            self._disk_index.clear()
-            self._refresh_locked()
+            if self._index is not None:
+                self._index.close()
+                self._index = None
             directory = self.directory
             if not directory.is_dir():
                 return 0
+            # Full independent rescan — including this instance's own
+            # segment and any segments an index let refreshes skip.
+            entries: dict[str, dict] = {}
             stale = sorted(directory.glob("*.jsonl"))
+            for path in stale:
+                for _size, line, entry in _scan_segment(path, 0):
+                    entries[entry["k"]] = entry
             target = directory / f"c-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
-            with target.open("w", encoding="utf8", newline="\n") as handle:
-                for address in sorted(self._disk_index):
-                    entry = {"k": address, "v": self._disk_index[address]}
-                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            rows: list[tuple[str, str, int, int]] = []
+            offset = 0
+            with target.open("wb") as handle:
+                for address in sorted(entries):
+                    line = (json.dumps(entries[address], sort_keys=True) + "\n").encode(
+                        "utf8"
+                    )
+                    handle.write(line)
+                    rows.append((address, target.name, offset, len(line)))
+                    offset += len(line)
             for path in stale:
                 if path != target:
                     path.unlink(missing_ok=True)
-            self._offsets = {target.name: target.stat().st_size}
-            return len(self._disk_index)
+            if build_index:
+                self._index = SqliteSegmentIndex.build(
+                    directory, rows, [(target.name, offset)]
+                )
+                # Indexed entries are served by point lookup, never scan.
+                self._disk_index = {}
+            else:
+                (directory / INDEX_NAME).unlink(missing_ok=True)
+                self._disk_index = {entry["k"]: entry["v"] for entry in entries.values()}
+            self._offsets = {target.name: offset}
+            return len(entries)
 
     # -- disk plumbing -------------------------------------------------------
 
-    def _from_disk(self, address: str):
+    def _index_locked(self) -> "SqliteSegmentIndex | None":
+        """The SQLite index handle, if attached or discoverable (io_lock held).
+
+        An index this instance explicitly built (``compact(index=True)``)
+        is always honored; ``use_index=False`` only stops the cache from
+        going looking for index files left on disk by others.
+        """
+        if self._index is not None:
+            return self._index
+        if not self.use_index:
+            return None
+        candidate = SqliteSegmentIndex(self.directory)
+        if not candidate.exists():
+            return None
+        self._index = candidate
+        return self._index
+
+    def probe_disk(self, address: str) -> "tuple[dict | None, str | None]":
+        """Raw record for ``address`` plus the tier that served it.
+
+        Returns ``(record, "segments")`` when a segment scan (or an
+        earlier scan's in-memory index) has the entry and ``(record,
+        "sqlite")`` when only the compacted SQLite index does. On a
+        miss, the tier reports how deep the probe went: ``(None,
+        "sqlite")`` if an index was actually consulted, ``(None,
+        None)`` if the namespace has no index. Counts nothing — stats
+        attribution is the caller's job (the service's per-tier stats,
+        or :meth:`get_or_compute`'s aggregate ``disk_hits``).
+        """
         with self._io_lock:
             record = self._disk_index.get(address)
             if record is None:
                 self._refresh_locked()
                 record = self._disk_index.get(address)
+            if record is not None:
+                return record, "segments"
+            index = self._index_locked()
+            if index is not None:
+                record = index.lookup(address)
+                if record is not None:
+                    return record["v"], "sqlite"
+                return None, "sqlite"
+        return None, None
+
+    def _from_disk(self, address: str):
+        record, _tier = self.probe_disk(address)
         if record is None:
             return _MISS
         return trace_from_record(record)
 
     def _refresh_locked(self) -> None:
-        """Pick up entries appended by other writers since the last scan."""
+        """Pick up entries appended by other writers since the last scan.
+
+        Segments covered by a compacted SQLite index are skipped — their
+        entries resolve through O(1) index lookups instead of scans.
+        """
         directory = self.directory
         if not directory.is_dir():
             return
+        index = self._index_locked()
+        if index is not None:
+            for name, size in index.covered_segments().items():
+                if self._offsets.get(name, 0) < size:
+                    self._offsets[name] = size
         for path in sorted(directory.glob("*.jsonl")):
             if path == self._segment_path:
                 continue  # own writes are already in memory
             consumed = self._offsets.get(path.name, 0)
-            try:
-                size = path.stat().st_size
-            except OSError:  # pragma: no cover - racing deletion
-                continue
-            if size <= consumed:
-                continue
-            with path.open("rb") as handle:
-                handle.seek(consumed)
-                for line in handle:
-                    if not line.endswith(b"\n"):
-                        break  # in-flight append; retry next refresh
-                    stripped = line.strip()
-                    if stripped:
-                        try:
-                            entry = json.loads(stripped.decode("utf8"))
-                        except (json.JSONDecodeError, UnicodeDecodeError):
-                            break  # torn write; retry next refresh
-                        self._disk_index[entry["k"]] = entry["v"]
-                    consumed += len(line)
+            for consumed, _line, entry in _scan_segment(path, consumed):
+                self._disk_index[entry["k"]] = entry["v"]
             self._offsets[path.name] = consumed
 
     def _spill(self, address: str, key, value: GenerationTrace) -> None:
@@ -338,7 +574,99 @@ class PersistentGenerationCache(GenerationCache):
     # A cache shipped to a worker process reopens the same store fresh:
     # its writes land in a new segment the parent picks up on refresh.
     def __getstate__(self) -> dict:
-        return {"cache_dir": str(self.cache_dir), "namespace": self.namespace}
+        return {
+            "cache_dir": str(self.cache_dir),
+            "namespace": self.namespace,
+            "use_index": self.use_index,
+        }
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(state["cache_dir"], namespace=state["namespace"])
+        self.__init__(
+            state["cache_dir"],
+            namespace=state["namespace"],
+            use_index=state.get("use_index", True),
+        )
+
+
+# -- store inspection (the repro-cache CLI) -----------------------------------
+
+
+def _scan_segment(path: Path, consumed: int):
+    """Yield ``(consumed_after, raw_line, entry)`` per complete entry.
+
+    Starts at byte offset ``consumed`` and stops at a truncated or torn
+    tail — the same tolerance as a reader refresh scan.
+    """
+    try:
+        size = path.stat().st_size
+    except OSError:  # pragma: no cover - racing deletion
+        return
+    if size <= consumed:
+        return
+    try:
+        with path.open("rb") as handle:
+            handle.seek(consumed)
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    return  # in-flight append
+                stripped = line.strip()
+                consumed += len(line)
+                if not stripped:
+                    continue
+                try:
+                    entry = json.loads(stripped.decode("utf8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    return  # torn write
+                yield consumed, line, entry
+    except OSError:  # pragma: no cover - racing deletion
+        return
+
+
+def store_stats(
+    cache_dir: "str | Path", namespaces: "list[str] | None" = None
+) -> dict:
+    """Per-namespace shape of a persistent store, for ``repro-cache stats``.
+
+    Scans segments at rest (no cache instance, no writers needed):
+    distinct addresses, raw record counts (duplicates included — the
+    compaction headroom), per-kind tallies, byte footprint, and whether
+    a compacted SQLite index covers the namespace. ``namespaces``
+    restricts the (potentially expensive) scan to the named ones.
+    """
+    cache_dir = Path(cache_dir)
+    wanted = set(namespaces) if namespaces is not None else None
+    namespaces: dict[str, dict] = {}
+    if cache_dir.is_dir():
+        for ns_dir in sorted(p for p in cache_dir.iterdir() if p.is_dir()):
+            if wanted is not None and ns_dir.name not in wanted:
+                continue
+            segments = sorted(ns_dir.glob("*.jsonl"))
+            addresses: set[str] = set()
+            kinds: dict[str, int] = {}
+            records = 0
+            total_bytes = 0
+            for segment in segments:
+                total_bytes += segment.stat().st_size
+                for _consumed, _line, entry in _scan_segment(segment, 0):
+                    records += 1
+                    addresses.add(entry["k"])
+                    kind = str(entry.get("kind", "unknown"))
+                    kinds[kind] = kinds.get(kind, 0) + 1
+            index = SqliteSegmentIndex(ns_dir)
+            indexed = index.exists()
+            index_entries = 0
+            if indexed:
+                index_entries = len(index)
+                addresses |= index.addresses()
+                total_bytes += index.path.stat().st_size
+                index.close()
+            namespaces[ns_dir.name] = {
+                "segments": len(segments),
+                "records": records,
+                "entries": len(addresses),
+                "bytes": total_bytes,
+                "kinds": dict(sorted(kinds.items())),
+                "indexed": indexed,
+                "index_entries": index_entries,
+            }
+    return {"cache_dir": str(cache_dir), "namespaces": namespaces}

@@ -236,7 +236,17 @@ class BatchRunner:
     # -- trace collection ----------------------------------------------------
 
     def teacher_forced_traces(self, instances: "list[SchemaLinkingInstance]") -> list:
-        """Teacher-forced traces for ``instances``, fanned over the pool."""
+        """Teacher-forced traces for ``instances``, pooled or batched.
+
+        A parallel runner pool fans per-instance calls (a caching LLM
+        still serves each from its service); otherwise a service-backed
+        LLM gets the whole batch in one call, whose backend decides how
+        to execute — serial, or coalesced into microbatches. Both paths
+        yield bit-identical traces in input order.
+        """
+        collect = getattr(self.llm, "teacher_forced_traces", None)
+        if self.pool.is_serial and callable(collect):
+            return collect(instances)
         return self.pool.map_ordered(partial(_trace_one, self.llm), instances)
 
     def branch_dataset(

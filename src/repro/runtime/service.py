@@ -1,0 +1,614 @@
+"""Backend-agnostic generation service with tiered caching.
+
+Everything upstream of the simulator — the RTS pipeline, the batch
+runner, the sweep orchestrator, the CLIs — used to call
+:class:`~repro.llm.model.TransparentLLM` methods directly, welding the
+paper's protocol to one synchronous in-process model. This module carves
+the seam between *what* to generate and *how* it is executed and cached:
+
+``GenerationBackend`` (the protocol)
+    Anything that can turn a batch of :class:`GenerationRequest` objects
+    into :class:`~repro.llm.model.GenerationTrace` objects::
+
+        class GenerationBackend(Protocol):
+            def generate(self, requests: Sequence[GenerationRequest])
+                -> list[GenerationTrace]:
+                \"\"\"Traces for ``requests``, in request order.\"\"\"
+
+            def identity(self) -> tuple:
+                \"\"\"(config, seed)-like tuple pinning the generation
+                function; feeds the persistent cache namespace via
+                :func:`~repro.runtime.persist.generation_namespace`.\"\"\"
+
+    Contract: ``generate`` is a *pure function* of (identity, request) —
+    the same request always yields a bit-identical trace, regardless of
+    batch composition, concurrency or call order. That purity is what
+    lets every backend share one cache namespace and what makes the
+    ``--backend simulator`` / ``--backend async`` axis byte-identical in
+    every ``*.summary.json``.
+
+Two implementations ship here:
+
+* :class:`SimulatorBackend` — wraps a ``TransparentLLM``; optionally
+  fans a batch over a :class:`~repro.runtime.pool.WorkerPool`. This is
+  byte-identical to the pre-service direct calls.
+* :class:`AsyncBatchedBackend` — an ``asyncio`` scheduler (own event
+  loop on a daemon thread) that coalesces concurrent requests into
+  microbatches: up to ``max_batch`` requests, waiting at most
+  ``max_wait_ms`` after the first arrival, with backpressure via a
+  bounded submission queue and at most ``workers`` batches in flight.
+  Results resolve per-request futures, so every caller sees its own
+  results in submission order no matter how requests were batched.
+
+On top sits :class:`GenerationService`: lookups fall through a tier
+stack — L1 in-memory memo table → L2 on-disk JSONL segment scan →
+L3 compacted SQLite index (O(1) cold lookups over large stores, see
+:mod:`repro.runtime.persist`) — and only the residue is sent to the
+backend, as one batch. Disk hits are promoted into L1; every tier keeps
+its own :class:`~repro.runtime.cache.CacheStats` (``tier_stats``) while
+the aggregate ``stats`` keeps the historical hits / disk_hits / misses
+accounting that the warm-run ``misses == 0`` invariants pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.llm.model import GenerationTrace, TransparentLLM
+from repro.runtime.cache import _MISS, CacheStats, GenerationCache, instance_key
+from repro.runtime.persist import (
+    PersistentGenerationCache,
+    generation_namespace,
+    trace_from_record,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.linking.instance import SchemaLinkingInstance
+    from repro.runtime.pool import WorkerPool
+
+__all__ = [
+    "FREE",
+    "FORCED",
+    "SIMULATOR",
+    "ASYNC",
+    "GEN_BACKENDS",
+    "MEMORY_TIER",
+    "SEGMENT_TIER",
+    "SQLITE_TIER",
+    "GenerationRequest",
+    "GenerationBackend",
+    "SimulatorBackend",
+    "AsyncBatchedBackend",
+    "MicrobatchStats",
+    "GenerationService",
+]
+
+FREE = "free"
+FORCED = "forced"
+KINDS = (FREE, FORCED)
+
+SIMULATOR = "simulator"
+ASYNC = "async"
+GEN_BACKENDS = (SIMULATOR, ASYNC)
+
+MEMORY_TIER = "memory"
+SEGMENT_TIER = "segments"
+SQLITE_TIER = "sqlite"
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One unit of generation work: which protocol over which instance.
+
+    ``kind`` selects the paper's generation mode — ``"free"`` (what an
+    unprotected linker emits) or ``"forced"`` (the §3.1 teacher-forced
+    label-collection protocol). ``key`` reproduces the historical cache
+    key tuple, so stores written before this module existed stay warm.
+    """
+
+    kind: str
+    instance: "SchemaLinkingInstance"
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown generation kind {self.kind!r}; pick from {KINDS}")
+
+    @property
+    def key(self) -> tuple:
+        return (self.kind, instance_key(self.instance))
+
+
+@runtime_checkable
+class GenerationBackend(Protocol):
+    """See the module docstring for the full protocol contract."""
+
+    def generate(
+        self, requests: "Sequence[GenerationRequest]"
+    ) -> "list[GenerationTrace]": ...  # pragma: no cover - protocol
+
+    def identity(self) -> tuple: ...  # pragma: no cover - protocol
+
+
+class SimulatorBackend:
+    """The reference backend: direct calls into a ``TransparentLLM``.
+
+    With ``pool`` (a :class:`~repro.runtime.pool.WorkerPool`), batches
+    fan out over threads — still order-preserving and byte-identical,
+    because each trace is a pure function of its request alone.
+    """
+
+    def __init__(self, llm: TransparentLLM, pool: "WorkerPool | None" = None):
+        self.llm = llm
+        self.pool = pool
+
+    @property
+    def base_llm(self) -> TransparentLLM:
+        return self.llm
+
+    def identity(self) -> tuple:
+        return (self.llm.config, self.llm.seed)
+
+    def _one(self, request: GenerationRequest) -> GenerationTrace:
+        if request.kind == FORCED:
+            return self.llm.teacher_forced_trace(request.instance)
+        return self.llm.generate(request.instance)
+
+    def generate(
+        self, requests: "Sequence[GenerationRequest]"
+    ) -> "list[GenerationTrace]":
+        requests = list(requests)
+        if self.pool is not None and not self.pool.is_serial and len(requests) > 1:
+            return self.pool.map_ordered(self._one, requests)
+        return [self._one(request) for request in requests]
+
+    # Shipped to worker processes as part of a pickled pipeline; the
+    # pool is reconstructed from its (workers, backend) config.
+    def __getstate__(self) -> dict:
+        return {"llm": self.llm, "pool": self.pool}
+
+    def __setstate__(self, state: dict) -> None:
+        self.llm = state["llm"]
+        self.pool = state["pool"]
+
+
+@dataclass(frozen=True)
+class MicrobatchStats:
+    """Scheduler bookkeeping for one :class:`AsyncBatchedBackend`."""
+
+    n_batches: int
+    n_requests: int
+    max_batch: int
+
+    @property
+    def mean_batch(self) -> float:
+        return self.n_requests / self.n_batches if self.n_batches else 0.0
+
+
+class AsyncBatchedBackend:
+    """Coalesces concurrent generation requests into microbatches.
+
+    An ``asyncio`` event loop on a dedicated daemon thread pulls
+    requests off a bounded queue; the first arrival opens a batch that
+    closes after ``max_batch`` requests or ``max_wait_ms`` milliseconds,
+    whichever comes first. Closed batches execute on worker threads (at
+    most ``workers`` concurrently — acquiring the slot *before* the next
+    batch is collected, so a saturated backend exerts backpressure
+    through the queue all the way to the submitting threads).
+
+    Determinism: traces are pure functions of their requests, and each
+    request resolves its own future, so results are bit-identical to the
+    wrapped backend's no matter how the scheduler sliced the batches.
+    ``identity()`` delegates to the inner backend — batching must never
+    change the cache namespace.
+    """
+
+    def __init__(
+        self,
+        inner,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 256,
+        workers: int = 4,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.inner = inner
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_pending = int(max_pending)
+        self.workers = int(workers)
+        self._lock = threading.Lock()
+        self._started = False
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._queue: "asyncio.Queue | None" = None
+        self._semaphore: "asyncio.Semaphore | None" = None
+        self._scheduler_task: "asyncio.Task | None" = None
+        self._batch_tasks: "set[asyncio.Task]" = set()
+        self._n_batches = 0
+        self._n_batched_requests = 0
+        self._max_batch_seen = 0
+
+    @property
+    def base_llm(self):
+        return self.inner.base_llm
+
+    def identity(self) -> tuple:
+        return self.inner.identity()
+
+    @property
+    def batch_stats(self) -> MicrobatchStats:
+        return MicrobatchStats(
+            n_batches=self._n_batches,
+            n_requests=self._n_batched_requests,
+            max_batch=self._max_batch_seen,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        with self._lock:
+            if self._started:
+                return
+            ready = threading.Event()
+
+            def run() -> None:
+                loop = asyncio.new_event_loop()
+                asyncio.set_event_loop(loop)
+                self._loop = loop
+                self._queue = asyncio.Queue(maxsize=self.max_pending)
+                self._semaphore = asyncio.Semaphore(self.workers)
+                self._scheduler_task = loop.create_task(self._schedule())
+                ready.set()
+                try:
+                    loop.run_forever()
+                finally:
+                    pending = asyncio.all_tasks(loop)
+                    for task in pending:
+                        task.cancel()
+                    if pending:
+                        loop.run_until_complete(
+                            asyncio.gather(*pending, return_exceptions=True)
+                        )
+                    loop.close()
+
+            self._thread = threading.Thread(
+                target=run, name="generation-microbatcher", daemon=True
+            )
+            self._thread.start()
+            ready.wait()
+            self._started = True
+
+    def close(self) -> None:
+        """Stop the scheduler thread (only with no calls in flight)."""
+        with self._lock:
+            if not self._started:
+                return
+            loop = self._loop
+            loop.call_soon_threadsafe(loop.stop)
+            self._thread.join(timeout=10)
+            self._started = False
+            self._loop = None
+            self._thread = None
+            self._queue = None
+            self._semaphore = None
+            self._scheduler_task = None
+            self._batch_tasks = set()
+
+    def __enter__(self) -> "AsyncBatchedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def generate(
+        self, requests: "Sequence[GenerationRequest]"
+    ) -> "list[GenerationTrace]":
+        requests = list(requests)
+        if not requests:
+            return []
+        self._ensure_started()
+        handles = [
+            asyncio.run_coroutine_threadsafe(self._submit(request), self._loop)
+            for request in requests
+        ]
+        return [handle.result() for handle in handles]
+
+    async def _submit(self, request: GenerationRequest) -> GenerationTrace:
+        future = asyncio.get_running_loop().create_future()
+        # Bounded queue: a saturated scheduler blocks producers here.
+        await self._queue.put((request, future))
+        return await future
+
+    # -- the scheduler (runs on the loop thread) -----------------------------
+
+    async def _schedule(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    while len(batch) < self.max_batch:  # drain what's queued
+                        try:
+                            batch.append(self._queue.get_nowait())
+                        except asyncio.QueueEmpty:
+                            break
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                except TimeoutError:
+                    break
+            # Acquire the execution slot before collecting the next
+            # batch: with all workers busy, the queue fills and put()
+            # blocks the submitters — end-to-end backpressure.
+            await self._semaphore.acquire()
+            self._n_batches += 1
+            self._n_batched_requests += len(batch)
+            self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            # The loop holds only weak refs to tasks: keep a strong one
+            # until done, or GC could drop a batch mid-flight and leave
+            # its submitters blocked forever.
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list) -> None:
+        try:
+            requests = [request for request, _future in batch]
+            try:
+                traces = await asyncio.to_thread(self.inner.generate, requests)
+                if len(traces) != len(requests):
+                    # A broken backend must fail loudly, not strand the
+                    # unpaired submitters in an undebuggable hang.
+                    raise RuntimeError(
+                        f"backend returned {len(traces)} traces for "
+                        f"{len(requests)} requests"
+                    )
+            except BaseException as exc:  # propagate to every submitter
+                for _request, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            for (_request, future), trace in zip(batch, traces):
+                if not future.done():
+                    future.set_result(trace)
+        finally:
+            self._semaphore.release()
+
+    # Pickled as configuration only; the child restarts its own loop.
+    def __getstate__(self) -> dict:
+        return {
+            "inner": self.inner,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_pending": self.max_pending,
+            "workers": self.workers,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
+
+# -- the service --------------------------------------------------------------
+
+
+class _TierCounter:
+    """Mutable hit/miss counters for one tier (snapshot: CacheStats)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+
+class GenerationService:
+    """Tiered-cache generation front-end over a pluggable backend.
+
+    Lookups fall through L1 (in-memory memo table) → L2 (on-disk segment
+    scan) → L3 (compacted SQLite index); only the residue of a batch is
+    sent to ``backend.generate`` — as a single batch, which is what the
+    async backend coalesces. Disk hits are promoted into L1; computed
+    traces are admitted to L1 and spilled to the persistent store.
+
+    ``stats`` preserves the historical aggregate accounting (``hits`` =
+    L1, ``disk_hits`` = L2 + L3, ``misses`` = backend computations) by
+    keeping the underlying cache object the single source of truth —
+    every consumer that read ``CachingLLM.stats`` or ``cache.stats``
+    before sees identical semantics. ``tier_stats`` adds the per-tier
+    refinement (which disk tier served a cold lookup).
+    """
+
+    def __init__(self, backend, cache: "GenerationCache | None" = None):
+        self.backend = backend
+        self.cache = cache if cache is not None else GenerationCache()
+        self._persistent = isinstance(self.cache, PersistentGenerationCache)
+        tiers = [MEMORY_TIER]
+        if self._persistent:
+            tiers += [SEGMENT_TIER, SQLITE_TIER]
+        self._tier_lock = threading.Lock()
+        self._tiers = {name: _TierCounter() for name in tiers}
+
+    @classmethod
+    def build(
+        cls,
+        llm: TransparentLLM,
+        gen_backend: str = SIMULATOR,
+        cache: "GenerationCache | None" = None,
+        cache_dir=None,
+        pool: "WorkerPool | None" = None,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 256,
+        workers: int = 4,
+        use_index: bool = True,
+    ) -> "GenerationService":
+        """Wire a service for ``llm``: backend choice plus cache tiers.
+
+        ``cache`` wins over ``cache_dir``; with ``cache_dir`` alone a
+        :class:`PersistentGenerationCache` is created in the namespace
+        derived from the backend's ``identity()`` — so the simulator and
+        async backends (same identity) share one store.
+        """
+        if gen_backend not in GEN_BACKENDS:
+            raise ValueError(
+                f"unknown generation backend {gen_backend!r}; pick from {GEN_BACKENDS}"
+            )
+        if gen_backend == ASYNC:
+            # Parallelism comes from the scheduler's concurrent batches
+            # alone; a pooled inner backend would multiply into
+            # workers² threads (plus one executor per microbatch).
+            backend = AsyncBatchedBackend(
+                SimulatorBackend(llm),
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                max_pending=max_pending,
+                workers=workers,
+            )
+        else:
+            backend = SimulatorBackend(llm, pool=pool)
+        if cache is None and cache_dir is not None:
+            config, seed = backend.identity()
+            cache = PersistentGenerationCache(
+                cache_dir,
+                namespace=generation_namespace(config, seed),
+                use_index=use_index,
+            )
+        return cls(backend, cache=cache)
+
+    # -- surface -------------------------------------------------------------
+
+    @property
+    def base_llm(self):
+        return self.backend.base_llm
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def tier_stats(self) -> "dict[str, CacheStats]":
+        with self._tier_lock:
+            return {name: counter.snapshot() for name, counter in self._tiers.items()}
+
+    def namespace(self) -> str:
+        """The persistent-store namespace for this backend identity."""
+        config, seed = self.backend.identity()
+        return generation_namespace(config, seed)
+
+    def close(self) -> None:
+        """Release backend and cache resources (scheduler thread, file
+        handles, sqlite connections). Entries stay on disk; a later
+        generation through a closed persistent cache simply opens a
+        fresh segment."""
+        closer = getattr(self.backend, "close", None)
+        if callable(closer):
+            closer()
+        cache_closer = getattr(self.cache, "close", None)
+        if callable(cache_closer):
+            cache_closer()
+
+    # -- generation ----------------------------------------------------------
+
+    def generate_one(self, request: GenerationRequest) -> GenerationTrace:
+        return self.generate([request])[0]
+
+    def free_traces(self, instances: "Iterable[SchemaLinkingInstance]") -> list:
+        return self.generate([GenerationRequest(FREE, i) for i in instances])
+
+    def forced_traces(self, instances: "Iterable[SchemaLinkingInstance]") -> list:
+        return self.generate([GenerationRequest(FORCED, i) for i in instances])
+
+    def generate(
+        self, requests: "Sequence[GenerationRequest]"
+    ) -> "list[GenerationTrace]":
+        """Traces for ``requests`` in order: cache tiers, then one batch.
+
+        Duplicate keys within a batch are computed once; concurrent
+        batches racing on the same missing key may both compute it (the
+        value is deterministic, the second admit is a harmless
+        overwrite) — the same contract as ``GenerationCache``.
+        """
+        requests = list(requests)
+        results: list = [None] * len(requests)
+        pending_indexes: "dict[tuple, list[int]]" = {}
+        pending: "list[tuple[tuple, GenerationRequest]]" = []
+        for i, request in enumerate(requests):
+            key = request.key  # hashes candidates/gold once per request
+            if key in pending_indexes:  # duplicate within this batch
+                pending_indexes[key].append(i)
+                continue
+            value = self._lookup(key)
+            if value is not _MISS:
+                results[i] = value
+            else:
+                pending_indexes[key] = [i]
+                pending.append((key, request))
+        if pending:
+            traces = self.backend.generate([request for _key, request in pending])
+            for (key, _request), trace in zip(pending, traces):
+                self.cache.admit(key, trace, miss=True)
+                for i in pending_indexes[key]:
+                    results[i] = trace
+        return results
+
+    # -- tier plumbing -------------------------------------------------------
+
+    def _count(self, tier: str, hit: bool) -> None:
+        with self._tier_lock:
+            counter = self._tiers[tier]
+            if hit:
+                counter.hits += 1
+            else:
+                counter.misses += 1
+
+    def _lookup(self, key: tuple):
+        value = self.cache.probe(key)
+        if value is not _MISS:
+            self._count(MEMORY_TIER, hit=True)
+            return value
+        self._count(MEMORY_TIER, hit=False)
+        if not self._persistent:
+            return _MISS
+        record, tier = self.cache.probe_disk(self.cache.address(key))
+        if record is None:
+            self._count(SEGMENT_TIER, hit=False)
+            if tier == SQLITE_TIER:  # an index was actually consulted
+                self._count(SQLITE_TIER, hit=False)
+            return _MISS
+        if tier == SQLITE_TIER:
+            self._count(SEGMENT_TIER, hit=False)
+            self._count(SQLITE_TIER, hit=True)
+        else:
+            self._count(SEGMENT_TIER, hit=True)
+        trace = trace_from_record(record)
+        # Hit promotion: cold-tier entries become L1 hits from now on.
+        self.cache.admit(key, trace, disk_hit=True)
+        return trace
+
+    # Shipped to worker processes with a pickled pipeline: the cache
+    # reopens its store view, tier counters start cold (per-process
+    # stats never propagate back — same contract as GenerationCache).
+    def __getstate__(self) -> dict:
+        return {"backend": self.backend, "cache": self.cache}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["backend"], cache=state["cache"])

@@ -40,6 +40,7 @@ from repro.corpus.generator import CorpusScale
 from repro.runtime.artifacts import strict_jsonable
 from repro.runtime.cache import CacheStats, GenerationCache
 from repro.runtime.pool import THREAD
+from repro.runtime.service import SIMULATOR
 
 __all__ = [
     "SCALES",
@@ -180,14 +181,21 @@ class ShardPlan:
 
 
 class SweepRunner:
-    """Executes sweep shards against one shared generation cache.
+    """Executes sweep shards against one shared generation service.
 
     One :class:`~repro.experiments.common.ExperimentContext` is built
     per RTS seed (pipelines must be refit per seed), but all contexts
-    share a single cache instance: with ``cache_dir`` set, a
-    :class:`PersistentGenerationCache` namespaced by the spec's LLM
-    identity, so separate shard processes reuse each other's
-    generations through the filesystem.
+    share a single :class:`~repro.runtime.service.GenerationService`
+    instance — one backend (``gen_backend`` picks ``simulator`` or the
+    microbatching ``async`` scheduler) over one cache tier stack: with
+    ``cache_dir`` set, a :class:`PersistentGenerationCache` namespaced
+    by the spec's LLM identity, so separate shard processes reuse each
+    other's generations through the filesystem.
+
+    ``progress`` (a callable taking one formatted line) streams per-unit
+    completion events — unit id, example counts, tier hit rates — as
+    they happen; the CLI points it at stderr so no JSON artifact is
+    perturbed.
     """
 
     def __init__(
@@ -196,15 +204,24 @@ class SweepRunner:
         out_dir: "str | Path",
         cache_dir: "str | Path | None" = None,
         workers: int = 1,
-        backend: str = THREAD,
+        pool: str = THREAD,
+        gen_backend: str = SIMULATOR,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        progress=None,
     ):
         self.spec = spec
         self.out_dir = Path(out_dir)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
-        self.backend = backend
+        self.pool = pool
+        self.gen_backend = gen_backend
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.progress = progress
         self._contexts: dict = {}
         self._cache: "GenerationCache | None" = None
+        self._service = None
 
     # -- shared state --------------------------------------------------------
 
@@ -212,6 +229,11 @@ class SweepRunner:
     def cache(self) -> "GenerationCache | None":
         """The cache every context shares (None until the first unit runs)."""
         return self._cache
+
+    @property
+    def service(self):
+        """The generation service every context shares (None until built)."""
+        return self._service
 
     def context(self, seed: int):
         if seed not in self._contexts:
@@ -223,14 +245,19 @@ class SweepRunner:
                 rts_seed=seed,
                 scale=SCALES[self.spec.scale](),
                 workers=self.workers,
-                backend=self.backend,
-                cache=self._cache,
+                backend=self.pool,
                 cache_dir=self.cache_dir,
+                gen_backend=self.gen_backend,
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                service=self._service,
             )
-            if self._cache is None:
-                # The first context builds the cache (ExperimentContext
+            if self._service is None:
+                # The first context builds the service (ExperimentContext
                 # is the one place that derives store namespaces from
-                # the LLM identity); later contexts share the instance.
+                # the LLM identity); later contexts share the instance,
+                # so the backend and every cache tier span all seeds.
+                self._service = ctx.service
                 self._cache = ctx.llm.cache
             self._contexts[seed] = ctx
         return self._contexts[seed]
@@ -283,7 +310,7 @@ class SweepRunner:
         units = plan.shard(shard_index)
         summaries: dict = {}
         runtime_units: dict = {}
-        for unit in units:
+        for position, unit in enumerate(units):
             result = self.run_unit(unit)
             summaries[unit.unit_id] = result.summary
             delta = result.cache_delta
@@ -292,6 +319,10 @@ class SweepRunner:
                 "n_evaluated": result.n_evaluated,
                 "generation_cache": delta.as_dict() if delta is not None else None,
             }
+            if self.progress is not None:
+                self.progress(
+                    _progress_line(position, len(units), unit, result, delta)
+                )
         stats = self._cache.stats if self._cache is not None else CacheStats.zero()
         manifest = {
             "spec": self.spec.to_dict(),
@@ -305,6 +336,7 @@ class SweepRunner:
                 "generation_cache": stats.as_dict(),
                 "cache_namespace": getattr(self._cache, "namespace", None),
                 "persistent": self.cache_dir is not None,
+                "gen_backend": self.gen_backend,
             },
         }
         path = self.shard_manifest_path(shard_index, shard_count)
@@ -313,12 +345,33 @@ class SweepRunner:
         return manifest
 
 
+def _progress_line(
+    position: int, total: int, unit: SweepUnit, result, delta: "CacheStats | None"
+) -> str:
+    """One human-readable completion event for progress streaming."""
+    parts = [
+        f"[{position + 1}/{total}]",
+        unit.unit_id,
+        f"examples={len(result.outcomes)}",
+        f"resumed={result.n_resumed}",
+        f"evaluated={result.n_evaluated}",
+    ]
+    if delta is not None:
+        rate = delta.hit_rate
+        parts.append(
+            f"cache mem={delta.hits} disk={delta.disk_hits} "
+            f"miss={delta.misses} hit_rate={rate:.3f}"
+        )
+    return " ".join(parts)
+
+
 def run_sweep(
     spec: SweepSpec,
     out_dir: "str | Path",
     cache_dir: "str | Path | None" = None,
     workers: int = 1,
-    backend: str = THREAD,
+    pool: str = THREAD,
+    gen_backend: str = SIMULATOR,
     shard_count: int = 1,
 ) -> dict:
     """Run every shard of a sweep in this process, then merge."""
@@ -326,9 +379,18 @@ def run_sweep(
         # One runner per shard: cold contexts, exactly like separate
         # processes would run it (the persistent cache still warms up).
         runner = SweepRunner(
-            spec, out_dir, cache_dir=cache_dir, workers=workers, backend=backend
+            spec,
+            out_dir,
+            cache_dir=cache_dir,
+            workers=workers,
+            pool=pool,
+            gen_backend=gen_backend,
         )
-        runner.run_shard(shard_index, shard_count)
+        try:
+            runner.run_shard(shard_index, shard_count)
+        finally:
+            if runner.service is not None:
+                runner.service.close()
     return merge_sweep(out_dir)
 
 

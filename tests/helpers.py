@@ -16,7 +16,13 @@ from repro.schema.column import Column, ColumnType
 from repro.schema.database import Database
 from repro.schema.table import ForeignKey, Table
 
-__all__ = ["make_column", "make_racing_db", "make_instance"]
+__all__ = [
+    "make_column",
+    "make_racing_db",
+    "make_instance",
+    "make_trace",
+    "assert_traces_equal",
+]
 
 
 def make_column(name: str, ctype=ColumnType.INTEGER, pk=False, words=None, pool="generic"):
@@ -101,3 +107,51 @@ def make_instance(
         gold_items=gold,
         difficulty=difficulty,
     )
+
+
+# -- synthetic generation traces (persist/service tests) ----------------------
+
+
+def make_trace(tag: str, n_steps: int = 2):
+    """A tiny synthetic trace; values vary with ``tag`` but are exact."""
+    import numpy as np
+
+    from repro.llm.model import GenerationStep, GenerationTrace
+
+    rng = np.random.default_rng(abs(hash(tag)) % (2**32))
+    return GenerationTrace(
+        instance_id=f"inst-{tag}",
+        steps=[
+            GenerationStep(
+                position=i,
+                proposed=f"tok-{tag}-{i}",
+                hidden=rng.standard_normal((3, 4)),
+                max_prob=float(rng.random()),
+                item_index=i,
+                within_index=0,
+                is_branching=bool(i % 2),
+                committed=f"tok-{tag}-{i}" if i % 2 == 0 else None,
+                forced=False,
+            )
+            for i in range(n_steps)
+        ],
+        aborted=False,
+    )
+
+
+def assert_traces_equal(a, b) -> None:
+    """Bit-exact trace equality (hidden states compared exactly)."""
+    import numpy as np
+
+    assert a.instance_id == b.instance_id
+    assert a.aborted == b.aborted
+    assert len(a.steps) == len(b.steps)
+    for sa, sb in zip(a.steps, b.steps):
+        assert sa.proposed == sb.proposed
+        assert sa.committed == sb.committed
+        assert sa.position == sb.position
+        assert sa.max_prob == sb.max_prob  # exact, not approx
+        assert sa.is_branching == sb.is_branching
+        assert sa.forced == sb.forced
+        assert sa.hidden.dtype == sb.hidden.dtype
+        assert np.array_equal(sa.hidden, sb.hidden)

@@ -1,0 +1,660 @@
+"""Tests for the backend-agnostic generation service and its cache tiers.
+
+Pins down the tentpole guarantees:
+
+* the async-batched backend produces traces bit-identical to the
+  simulator backend (any ``max_batch`` / ``workers``), and the whole
+  evaluation stack stays byte-identical across ``--backend``;
+* the microbatch scheduler actually coalesces concurrent requests, in
+  order, with errors propagated to every submitter;
+* tier fall-through and promotion: memory → segment scan → SQLite
+  index → backend, with per-tier stats and L1 promotion on disk hits;
+* SQLite-index lookups agree with segment scans after ``compact()``,
+  and a warm run against a compacted, indexed store performs zero new
+  generations;
+* the ``repro-cache`` CLI exposes stats/compaction, ``repro-run``
+  honors ``--cache-dir`` / ``REPRO_CACHE_DIR``, and ``repro-sweep
+  --progress`` streams to stderr without touching JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from helpers import assert_traces_equal, make_trace
+
+from repro.core.pipeline import RTSPipeline
+from repro.llm.model import TransparentLLM
+from repro.runtime.cache import CachingLLM
+from repro.runtime.persist import (
+    INDEX_NAME,
+    PersistentGenerationCache,
+    SqliteSegmentIndex,
+    generation_namespace,
+    store_stats,
+    trace_from_record,
+)
+from repro.runtime.pool import WorkerPool
+from repro.runtime.service import (
+    ASYNC,
+    FORCED,
+    FREE,
+    AsyncBatchedBackend,
+    GenerationRequest,
+    GenerationService,
+    SimulatorBackend,
+)
+from repro.runtime.sweep import SUMMARY_NAME, SweepRunner, SweepSpec, merge_sweep
+
+SPEC = SweepSpec(
+    benchmarks=("bird",),
+    splits=("dev",),
+    tasks=("table",),
+    modes=("abstain",),
+    seeds=(3,),
+    scale="tiny",
+    limit=3,
+)
+
+
+@pytest.fixture(scope="module")
+def table_instances(bird_tiny):
+    return [
+        RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.dev.examples
+    ]
+
+
+def mixed_requests(instances) -> list:
+    return [GenerationRequest(FREE, i) for i in instances] + [
+        GenerationRequest(FORCED, i) for i in instances
+    ]
+
+
+class CountingBackend:
+    """Wraps a backend, recording every batch it is asked to generate."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.batches: list[int] = []
+        self._lock = threading.Lock()
+
+    @property
+    def base_llm(self):
+        return self.inner.base_llm
+
+    def identity(self):
+        return self.inner.identity()
+
+    def generate(self, requests):
+        with self._lock:
+            self.batches.append(len(requests))
+        return self.inner.generate(requests)
+
+
+class ExplodingBackend:
+    def identity(self):
+        return ("boom", 0)
+
+    def generate(self, requests):
+        raise RuntimeError("backend exploded")
+
+
+# -- requests -----------------------------------------------------------------
+
+
+def test_request_validates_kind_and_reproduces_legacy_keys(table_instances):
+    from repro.runtime.cache import instance_key
+
+    instance = table_instances[0]
+    assert GenerationRequest(FREE, instance).key == ("free", instance_key(instance))
+    assert GenerationRequest(FORCED, instance).key == ("forced", instance_key(instance))
+    with pytest.raises(ValueError, match="kind"):
+        GenerationRequest("sampled", instance)
+
+
+# -- backend equivalence ------------------------------------------------------
+
+
+def test_simulator_backend_matches_direct_llm_calls(table_instances):
+    llm = TransparentLLM(seed=11)
+    backend = SimulatorBackend(TransparentLLM(seed=11))
+    traces = backend.generate(mixed_requests(table_instances[:3]))
+    for trace, instance in zip(traces[:3], table_instances[:3]):
+        assert_traces_equal(trace, llm.generate(instance))
+    for trace, instance in zip(traces[3:], table_instances[:3]):
+        assert_traces_equal(trace, llm.teacher_forced_trace(instance))
+
+
+def test_simulator_backend_pooled_matches_serial(table_instances):
+    requests = mixed_requests(table_instances)
+    serial = SimulatorBackend(TransparentLLM(seed=11)).generate(requests)
+    pooled = SimulatorBackend(
+        TransparentLLM(seed=11), pool=WorkerPool(workers=4)
+    ).generate(requests)
+    for a, b in zip(serial, pooled):
+        assert_traces_equal(a, b)
+
+
+@pytest.mark.parametrize("max_batch,workers", [(1, 1), (3, 2), (16, 4)])
+def test_async_backend_bit_identical_to_simulator(table_instances, max_batch, workers):
+    requests = mixed_requests(table_instances)
+    reference = SimulatorBackend(TransparentLLM(seed=11)).generate(requests)
+    with AsyncBatchedBackend(
+        SimulatorBackend(TransparentLLM(seed=11)),
+        max_batch=max_batch,
+        max_wait_ms=5.0,
+        workers=workers,
+    ) as backend:
+        batched = backend.generate(requests)
+    assert len(batched) == len(reference)
+    for a, b in zip(reference, batched):
+        assert_traces_equal(a, b)
+
+
+def test_async_backend_identity_delegates_to_inner():
+    inner = SimulatorBackend(TransparentLLM(seed=11))
+    backend = AsyncBatchedBackend(inner)
+    assert backend.identity() == inner.identity()
+    # Same identity -> same persistent namespace: both backends share
+    # one store, which is what makes the --backend axis cache-neutral.
+    config, seed = backend.identity()
+    assert generation_namespace(config, seed) == generation_namespace(
+        inner.llm.config, inner.llm.seed
+    )
+
+
+# -- microbatch coalescing ----------------------------------------------------
+
+
+def test_async_backend_coalesces_into_microbatches(table_instances):
+    counting = CountingBackend(SimulatorBackend(TransparentLLM(seed=11)))
+    requests = mixed_requests(table_instances)  # 2 * len(dev) requests
+    with AsyncBatchedBackend(
+        counting, max_batch=4, max_wait_ms=200.0, workers=1
+    ) as backend:
+        backend.generate(requests)
+        stats = backend.batch_stats
+    assert sum(counting.batches) == len(requests)
+    assert max(counting.batches) <= 4
+    # A generous max_wait and a single worker guarantee the scheduler
+    # sees a backlog: far fewer batches than requests, some of them full.
+    assert len(counting.batches) < len(requests)
+    assert max(counting.batches) > 1
+    assert stats.n_requests == len(requests)
+    assert stats.n_batches == len(counting.batches)
+    assert stats.max_batch == max(counting.batches)
+
+
+def test_async_backend_concurrent_submitters_get_their_own_results(table_instances):
+    with AsyncBatchedBackend(
+        SimulatorBackend(TransparentLLM(seed=11)), max_batch=4, max_wait_ms=50.0
+    ) as backend:
+        reference = {
+            i.instance_id: SimulatorBackend(TransparentLLM(seed=11)).generate(
+                [GenerationRequest(FREE, i)]
+            )[0]
+            for i in table_instances
+        }
+        results: dict[int, list] = {}
+        errors: list[Exception] = []
+
+        def submit(thread_index: int, instances):
+            try:
+                results[thread_index] = backend.generate(
+                    [GenerationRequest(FREE, i) for i in instances]
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(t, table_instances))
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert not errors
+    for traces in results.values():
+        assert [t.instance_id for t in traces] == [
+            i.instance_id for i in table_instances
+        ]
+        for trace, instance in zip(traces, table_instances):
+            assert_traces_equal(trace, reference[instance.instance_id])
+
+
+def test_async_backend_bounded_queue_backpressure(table_instances):
+    """A tiny queue + slow worker still completes every request."""
+    with AsyncBatchedBackend(
+        SimulatorBackend(TransparentLLM(seed=11)),
+        max_batch=2,
+        max_wait_ms=1.0,
+        max_pending=2,
+        workers=1,
+    ) as backend:
+        traces = backend.generate(mixed_requests(table_instances))
+    assert len(traces) == 2 * len(table_instances)
+
+
+def test_async_backend_propagates_backend_errors(table_instances):
+    with AsyncBatchedBackend(ExplodingBackend(), max_wait_ms=1.0) as backend:
+        with pytest.raises(RuntimeError, match="backend exploded"):
+            backend.generate([GenerationRequest(FREE, table_instances[0])])
+    # The backend restarts cleanly after close().
+    with AsyncBatchedBackend(
+        SimulatorBackend(TransparentLLM(seed=11)), max_wait_ms=1.0
+    ) as backend:
+        assert backend.generate([GenerationRequest(FREE, table_instances[0])])
+
+
+def test_async_backend_rejects_bad_config():
+    inner = SimulatorBackend(TransparentLLM(seed=11))
+    for kwargs in (
+        {"max_batch": 0},
+        {"max_wait_ms": -1.0},
+        {"max_pending": 0},
+        {"workers": 0},
+    ):
+        with pytest.raises(ValueError):
+            AsyncBatchedBackend(inner, **kwargs)
+
+
+# -- service tiering ----------------------------------------------------------
+
+
+def test_service_memoizes_and_dedupes_within_a_batch(table_instances):
+    counting = CountingBackend(SimulatorBackend(TransparentLLM(seed=11)))
+    service = GenerationService(counting)
+    instance = table_instances[0]
+    request = GenerationRequest(FREE, instance)
+    first, second = service.generate([request, request])
+    assert first is second  # one computation, shared result
+    assert counting.batches == [1]
+    assert service.generate_one(request) is first  # L1 from now on
+    assert service.stats.hits == 1 and service.stats.misses == 1
+    assert service.tier_stats["memory"].hits == 1
+    assert "segments" not in service.tier_stats  # no disk tiers configured
+
+
+def test_service_tier_promotion_and_eviction(tmp_path, table_instances):
+    instances = table_instances[:3]
+    llm = TransparentLLM(seed=11)
+    namespace = generation_namespace(llm.config, llm.seed)
+
+    writer = GenerationService(
+        SimulatorBackend(llm),
+        cache=PersistentGenerationCache(tmp_path, namespace=namespace),
+    )
+    cold = writer.free_traces(instances)
+    assert writer.stats.misses == len(instances)
+    assert writer.tier_stats["segments"].misses == len(instances)
+    writer.cache.close()
+
+    # A fresh store view: the segment tier serves, promoting into L1.
+    reader = GenerationService(
+        ExplodingBackend(),  # must never be called
+        cache=PersistentGenerationCache(tmp_path, namespace=namespace),
+    )
+    warm = reader.free_traces(instances)
+    for a, b in zip(cold, warm):
+        assert_traces_equal(a, b)
+    tiers = reader.tier_stats
+    assert tiers["segments"].hits == len(instances)
+    assert tiers["memory"].misses == len(instances)
+    assert reader.stats.disk_hits == len(instances) and reader.stats.misses == 0
+    # Promotion: the same lookups are L1 hits now.
+    again = reader.free_traces(instances)
+    for a, b in zip(cold, again):
+        assert_traces_equal(a, b)
+    assert reader.tier_stats["memory"].hits == len(instances)
+    assert reader.stats.hits == len(instances)
+
+    # Eviction of L1 (clear) falls back to the disk tiers, not the backend.
+    reader.cache.clear()
+    evicted = reader.free_traces(instances)
+    for a, b in zip(cold, evicted):
+        assert_traces_equal(a, b)
+    assert reader.stats.disk_hits == len(instances)
+    reader.cache.close()
+
+
+def test_service_sqlite_tier_after_compaction(tmp_path, table_instances):
+    instances = table_instances[:3]
+    llm = TransparentLLM(seed=11)
+    namespace = generation_namespace(llm.config, llm.seed)
+    writer = GenerationService.build(llm, cache_dir=tmp_path)
+    cold = writer.free_traces(instances) + writer.forced_traces(instances)
+    writer.cache.close()
+
+    compactor = PersistentGenerationCache(tmp_path, namespace=namespace)
+    kept = compactor.compact()
+    assert kept == 2 * len(instances)
+    assert (compactor.directory / INDEX_NAME).is_file()
+    compactor.close()
+
+    reader = GenerationService(
+        ExplodingBackend(),
+        cache=PersistentGenerationCache(tmp_path, namespace=namespace),
+    )
+    warm = reader.free_traces(instances) + reader.forced_traces(instances)
+    for a, b in zip(cold, warm):
+        assert_traces_equal(a, b)
+    tiers = reader.tier_stats
+    assert tiers["sqlite"].hits == 2 * len(instances)
+    assert tiers["segments"].hits == 0
+    assert reader.stats.misses == 0  # the acceptance invariant
+    reader.cache.close()
+
+
+def test_sqlite_index_agrees_with_segment_scan(tmp_path):
+    """Every address must resolve identically via scan and via index."""
+    cache = PersistentGenerationCache(tmp_path, namespace="ns", use_index=False)
+    keys = [("free", f"k{i}") for i in range(8)]
+    for key in keys:
+        cache.get_or_compute(key, lambda key=key: make_trace(key[1]))
+    cache.close()
+
+    # Reference: pure segment scans (the index is never consulted).
+    scanner = PersistentGenerationCache(tmp_path, namespace="ns", use_index=False)
+    scanned = {
+        key: scanner.get_or_compute(key, lambda: pytest.fail("must be on disk"))
+        for key in keys
+    }
+    assert scanner.stats.disk_hits == len(keys)
+    scanner.close()
+
+    compactor = PersistentGenerationCache(tmp_path, namespace="ns")
+    assert compactor.compact(index=True) == len(keys)
+    compactor.close()
+
+    indexed = PersistentGenerationCache(tmp_path, namespace="ns")
+    index = SqliteSegmentIndex(indexed.directory)
+    assert index.exists() and len(index) == len(keys)
+    for key in keys:
+        record, tier = indexed.probe_disk(indexed.address(key))
+        assert tier == "sqlite"
+        assert_traces_equal(trace_from_record(record), scanned[key])
+    index.close()
+    indexed.close()
+
+
+def test_compact_with_index_keeps_serving_on_a_no_index_instance(tmp_path):
+    """An explicitly built index is honored even with use_index=False."""
+    cache = PersistentGenerationCache(tmp_path, namespace="ns", use_index=False)
+    cache.get_or_compute(("free", "k"), lambda: make_trace("k"))
+    cache.clear()
+    assert cache.compact(index=True) == 1
+    # The instance that just built the index must still see the entry.
+    loaded = cache.get_or_compute(("free", "k"), lambda: pytest.fail("on disk"))
+    assert_traces_equal(loaded, make_trace("k"))
+    assert cache.stats.disk_hits == 1
+    cache.close()
+
+
+def test_service_close_releases_persistent_cache_handles(tmp_path, table_instances):
+    service = GenerationService.build(TransparentLLM(seed=11), cache_dir=tmp_path)
+    service.generate_one(GenerationRequest(FREE, table_instances[0]))
+    assert service.cache._handle is not None  # spill handle open
+    service.close()
+    assert service.cache._handle is None  # released with the backend
+
+
+def test_segment_tier_still_serves_entries_written_after_compaction(tmp_path):
+    """A stale index must never shadow newer segment entries."""
+    cache = PersistentGenerationCache(tmp_path, namespace="ns")
+    cache.get_or_compute(("free", "old"), lambda: make_trace("old"))
+    cache.compact(index=True)
+    # New entry lands in a fresh segment the index knows nothing about.
+    cache.get_or_compute(("free", "new"), lambda: make_trace("new"))
+    cache.close()
+
+    reader = PersistentGenerationCache(tmp_path, namespace="ns")
+    old_record, old_tier = reader.probe_disk(reader.address(("free", "old")))
+    new_record, new_tier = reader.probe_disk(reader.address(("free", "new")))
+    assert old_tier == "sqlite" and new_tier == "segments"
+    assert old_record is not None and new_record is not None
+    assert reader.disk_entries() == 2
+    reader.close()
+
+
+def test_caching_llm_is_a_thin_service_adapter(table_instances):
+    service = GenerationService(SimulatorBackend(TransparentLLM(seed=11)))
+    llm = CachingLLM(service=service)
+    instance = table_instances[0]
+    assert llm.cache is service.cache
+    assert_traces_equal(
+        llm.generate(instance),
+        service.generate_one(GenerationRequest(FREE, instance)),
+    )
+    batched = llm.teacher_forced_traces(table_instances[:2])
+    assert [t.instance_id for t in batched] == [
+        i.instance_id for i in table_instances[:2]
+    ]
+    assert llm.stats == service.stats
+    from repro.runtime.cache import GenerationCache
+
+    with pytest.raises(ValueError, match="not both"):
+        CachingLLM(TransparentLLM(seed=11), cache=GenerationCache(), service=service)
+
+
+def test_service_pickles_to_cold_equivalent(table_instances):
+    import pickle
+
+    service = GenerationService.build(
+        TransparentLLM(seed=11), gen_backend=ASYNC, max_wait_ms=1.0
+    )
+    trace = service.generate_one(GenerationRequest(FREE, table_instances[0]))
+    clone = pickle.loads(pickle.dumps(service))
+    try:
+        assert_traces_equal(
+            clone.generate_one(GenerationRequest(FREE, table_instances[0])), trace
+        )
+    finally:
+        clone.close()
+        service.close()
+
+
+# -- end-to-end byte-identity across the backend axis -------------------------
+
+
+def test_sweep_summary_byte_identical_across_backends(tmp_path):
+    payloads = {}
+    for gen_backend in ("simulator", "async"):
+        out = tmp_path / gen_backend
+        runner = SweepRunner(
+            SPEC, out, gen_backend=gen_backend, max_batch=4, max_wait_ms=5.0
+        )
+        runner.run_shard()
+        try:
+            merged = merge_sweep(out)
+        finally:
+            if runner.service is not None:
+                runner.service.close()
+        assert merged["summary"]["n_units"] == 1
+        payloads[gen_backend] = (out / SUMMARY_NAME).read_bytes()
+    assert payloads["simulator"] == payloads["async"]  # byte for byte
+
+
+def test_warm_async_run_over_compacted_store_has_zero_misses(tmp_path):
+    cache_dir = tmp_path / "gen"
+    cold = SweepRunner(SPEC, tmp_path / "cold", cache_dir=cache_dir)
+    cold.run_shard()
+    namespace = cold.cache.namespace
+    cold.cache.close()
+
+    compactor = PersistentGenerationCache(cache_dir, namespace=namespace)
+    assert compactor.compact() > 0
+    compactor.close()
+
+    warm = SweepRunner(
+        SPEC, tmp_path / "warm", cache_dir=cache_dir, gen_backend=ASYNC, max_wait_ms=1.0
+    )
+    manifest = warm.run_shard()
+    warm.service.close()
+    stats = manifest["runtime"]["generation_cache"]
+    assert stats["misses"] == 0
+    assert stats["disk_hits"] > 0
+    assert stats["hit_rate"] == 1.0
+    from repro.runtime.artifacts import strict_jsonable
+
+    reference = (tmp_path / "cold" / "shards").glob("shard-*.json")
+    cold_manifest = json.loads(next(iter(sorted(reference))).read_text())
+    # strict_jsonable: the on-disk manifest went through NaN -> None.
+    assert strict_jsonable(manifest["units"]) == cold_manifest["units"]
+
+
+# -- progress streaming -------------------------------------------------------
+
+
+def test_sweep_progress_streams_units_without_touching_artifacts(tmp_path):
+    lines: list[str] = []
+    silent_out = tmp_path / "silent"
+    SweepRunner(SPEC, silent_out).run_shard()
+    loud_out = tmp_path / "loud"
+    SweepRunner(SPEC, loud_out, progress=lines.append).run_shard()
+    assert len(lines) == len(SPEC.units())
+    unit_id = SPEC.units()[0].unit_id
+    assert unit_id in lines[0]
+    assert "hit_rate=" in lines[0] and "evaluated=" in lines[0]
+    # Identical JSON artifacts with and without progress streaming.
+    for summary in sorted((silent_out / "units").glob("*.summary.json")):
+        assert summary.read_bytes() == (
+            loud_out / "units" / summary.name
+        ).read_bytes()
+
+
+def test_sweep_cli_progress_goes_to_stderr(tmp_path, capsys, monkeypatch):
+    from repro.runtime.cli import main_sweep
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    args = [
+        "run",
+        "--benchmarks", "bird",
+        "--splits", "dev",
+        "--tasks", "table",
+        "--modes", "abstain",
+        "--seeds", "3",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--out", str(tmp_path / "sweep"),
+        "--progress",
+    ]
+    assert main_sweep(args) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout stays pure JSON
+    assert "bird-dev-table-abstain-s3" in captured.err
+
+
+# -- CLI: repro-run cache-dir, repro-cache ------------------------------------
+
+
+def test_run_cli_honors_cache_dir_env_default(tmp_path, capsys, monkeypatch):
+    from repro.runtime.cli import main
+
+    cache_dir = tmp_path / "store"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    args = [
+        "--benchmark", "bird",
+        "--split", "dev",
+        "--task", "table",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--workers", "1",
+    ]
+    assert main(args) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["cache_dir"] == str(cache_dir)
+    assert cold["generation_cache"]["misses"] > 0
+    assert any(cache_dir.glob("llm-*/*.jsonl"))  # store actually written
+
+    # Second process-equivalent run: everything from the shared store.
+    assert main(args) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["generation_cache"]["misses"] == 0
+    assert warm["summary"] == cold["summary"]
+
+
+def test_run_cli_async_backend_matches_simulator_summary(tmp_path, capsys, monkeypatch):
+    from repro.runtime.cli import main
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    args = [
+        "--benchmark", "bird",
+        "--split", "dev",
+        "--task", "table",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--workers", "2",
+    ]
+    assert main([*args, "--backend", "simulator"]) == 0
+    simulator = json.loads(capsys.readouterr().out)
+    assert main([*args, "--backend", "async", "--max-wait-ms", "1"]) == 0
+    asynced = json.loads(capsys.readouterr().out)
+    assert simulator["summary"] == asynced["summary"]
+    assert asynced["backend"] == "async"
+
+
+def test_cache_cli_stats_and_compact(tmp_path, capsys):
+    from repro.runtime.cli import main_cache
+
+    cache = PersistentGenerationCache(tmp_path, namespace="ns-a")
+    for i in range(3):
+        cache.get_or_compute(("free", f"k{i}"), lambda i=i: make_trace(f"k{i}"))
+    cache.close()
+    other = PersistentGenerationCache(tmp_path, namespace="ns-a")
+    other.get_or_compute(("forced", "dup"), lambda: make_trace("dup"))
+    other.close()
+
+    assert main_cache(["stats", "--cache-dir", str(tmp_path)]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    ns = stats["namespaces"]["ns-a"]
+    assert ns["segments"] == 2 and ns["entries"] == 4
+    assert ns["kinds"] == {"forced": 1, "free": 3}
+    assert not ns["indexed"]
+
+    assert main_cache(["compact", "--cache-dir", str(tmp_path)]) == 0
+    compacted = json.loads(capsys.readouterr().out)
+    assert compacted["compacted"]["ns-a"]["entries"] == 4
+    assert compacted["compacted"]["ns-a"]["segments_before"] == 2
+
+    assert main_cache(["stats", "--cache-dir", str(tmp_path)]) == 0
+    after = json.loads(capsys.readouterr().out)["namespaces"]["ns-a"]
+    assert after["segments"] == 1
+    assert after["indexed"] and after["index_entries"] == 4
+
+    # The compacted, indexed store still rehydrates bit-exactly.
+    reader = PersistentGenerationCache(tmp_path, namespace="ns-a")
+    loaded = reader.get_or_compute(("free", "k1"), lambda: pytest.fail("on disk"))
+    assert_traces_equal(loaded, make_trace("k1"))
+    reader.close()
+
+
+def test_cache_cli_requires_cache_dir(monkeypatch, capsys):
+    from repro.runtime.cli import main_cache
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    with pytest.raises(SystemExit) as excinfo:
+        main_cache(["stats"])
+    assert excinfo.value.code == 2
+    assert "cache-dir" in capsys.readouterr().err
+
+
+def test_cache_cli_rejects_unknown_namespace(tmp_path, capsys):
+    from repro.runtime.cli import main_cache
+
+    cache = PersistentGenerationCache(tmp_path, namespace="real")
+    cache.get_or_compute(("free", "k"), lambda: make_trace("k"))
+    cache.close()
+    with pytest.raises(SystemExit):
+        main_cache(
+            ["compact", "--cache-dir", str(tmp_path), "--namespace", "missing"]
+        )
+    assert "missing" in capsys.readouterr().err
+
+
+def test_store_stats_on_empty_or_absent_dir(tmp_path):
+    assert store_stats(tmp_path)["namespaces"] == {}
+    assert store_stats(tmp_path / "nowhere")["namespaces"] == {}

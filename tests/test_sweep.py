@@ -15,10 +15,11 @@ from __future__ import annotations
 import json
 import threading
 
-import numpy as np
 import pytest
 
-from repro.llm.model import GenerationStep, GenerationTrace, TransparentLLM
+from helpers import assert_traces_equal, make_trace
+
+from repro.llm.model import TransparentLLM
 from repro.runtime.cache import CacheStats, CachingLLM
 from repro.runtime.persist import (
     PersistentGenerationCache,
@@ -47,42 +48,8 @@ TINY_SPEC = SweepSpec(
 )
 
 
-def make_trace(tag: str, n_steps: int = 2) -> GenerationTrace:
-    """A tiny synthetic trace; values vary with ``tag`` but are exact."""
-    rng = np.random.default_rng(abs(hash(tag)) % (2**32))
-    return GenerationTrace(
-        instance_id=f"inst-{tag}",
-        steps=[
-            GenerationStep(
-                position=i,
-                proposed=f"tok-{tag}-{i}",
-                hidden=rng.standard_normal((3, 4)),
-                max_prob=float(rng.random()),
-                item_index=i,
-                within_index=0,
-                is_branching=bool(i % 2),
-                committed=f"tok-{tag}-{i}" if i % 2 == 0 else None,
-                forced=False,
-            )
-            for i in range(n_steps)
-        ],
-        aborted=False,
-    )
-
-
-def assert_traces_equal(a: GenerationTrace, b: GenerationTrace) -> None:
-    assert a.instance_id == b.instance_id
-    assert a.aborted == b.aborted
-    assert len(a.steps) == len(b.steps)
-    for sa, sb in zip(a.steps, b.steps):
-        assert sa.proposed == sb.proposed
-        assert sa.committed == sb.committed
-        assert sa.position == sb.position
-        assert sa.max_prob == sb.max_prob  # exact, not approx
-        assert sa.is_branching == sb.is_branching
-        assert sa.forced == sb.forced
-        assert sa.hidden.dtype == sb.hidden.dtype
-        assert np.array_equal(sa.hidden, sb.hidden)
+# (make_trace / assert_traces_equal live in helpers.py, shared with the
+# service tests.)
 
 
 # -- spec and shard plan ------------------------------------------------------
