@@ -1,6 +1,8 @@
 """Micro-benchmarks of the library's hot paths: tokenization, hidden-state
 synthesis, probe training, conformal calibration, generation, execution,
-and the batched evaluation runtime (batch-vs-serial throughput)."""
+the batched evaluation runtime (batch-vs-serial throughput), and
+two-phase trace synthesis (vectorized vs the scalar per-token oracle,
+the "trace-synthesis" group)."""
 
 from __future__ import annotations
 
@@ -224,3 +226,88 @@ def test_bench_service_async_batched_backend(benchmark, service_requests):
         workers=4,
     ) as backend:
         benchmark(lambda: backend.generate(service_requests))
+
+
+# -- trace synthesis: scalar vs vectorized two-phase ---------------------------
+#
+# The same generation workload through the scalar reference oracle
+# (independent per-token synthesis — the pure-function definition of the
+# observables, architecturally the old per-token hot path) and through
+# the vectorized two-phase fast path (symbolic walk + one batched
+# observable pass). Both are bit-identical by construction (pinned in
+# tests/test_trace_synthesis.py); compare the "trace-synthesis" group's
+# rows — `scripts/dev.sh bench-smoke` prints the speedup ratio. The
+# workload pairs the tiny corpus's column-linking dev split with
+# wide-schema instances (every column of a database as a gold item),
+# because the tiny test corpus under-sizes schemas relative to real
+# BIRD/Spider databases and the hot path's payoff scales with trace
+# length.
+
+
+@pytest.fixture(scope="module")
+def synthesis_instances(ctx):
+    import dataclasses
+
+    bench = ctx.benchmark("bird")
+    instances = [
+        RTSPipeline.instance_for(e, bench, "column") for e in bench.dev.examples
+    ]
+    template = instances[0]
+    for name, pdb in sorted(bench.databases.items()):
+        columns = tuple(
+            f"{table.name}.{column.name}"
+            for table in pdb.schema.tables
+            for column in table.columns
+        )
+        instances.append(
+            dataclasses.replace(
+                template,
+                instance_id=f"bench-wide/{name}/column",
+                candidates=columns,
+                gold_items=columns,
+            )
+        )
+    return instances
+
+
+@pytest.mark.benchmark(group="trace-synthesis")
+def test_bench_synthesis_scalar_forced(benchmark, synthesis_instances):
+    llm = TransparentLLM(seed=11)
+    benchmark(
+        lambda: [llm.teacher_forced_trace_scalar(i) for i in synthesis_instances]
+    )
+
+
+@pytest.mark.benchmark(group="trace-synthesis")
+def test_bench_synthesis_vectorized_forced(benchmark, synthesis_instances):
+    llm = TransparentLLM(seed=11)
+    benchmark(lambda: [llm.teacher_forced_trace(i) for i in synthesis_instances])
+
+
+@pytest.mark.benchmark(group="trace-synthesis")
+def test_bench_synthesis_scalar_free(benchmark, synthesis_instances):
+    llm = TransparentLLM(seed=11)
+    benchmark(lambda: [llm.generate_scalar(i) for i in synthesis_instances])
+
+
+@pytest.mark.benchmark(group="trace-synthesis")
+def test_bench_synthesis_vectorized_free(benchmark, synthesis_instances):
+    llm = TransparentLLM(seed=11)
+    benchmark(lambda: [llm.generate(i) for i in synthesis_instances])
+
+
+@pytest.mark.benchmark(group="trace-synthesis")
+def test_bench_synthesis_incremental_session_forced(benchmark, synthesis_instances):
+    """The third path: the inference-time session with retained streams."""
+
+    llm = TransparentLLM(seed=11)
+
+    def run():
+        out = []
+        for instance in synthesis_instances:
+            session = llm.start_session(instance)
+            session.run_teacher_forced()
+            out.append(session.trace())
+        return out
+
+    benchmark(run)

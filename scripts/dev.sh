@@ -32,6 +32,25 @@ bench_smoke() {
   python -m pytest benchmarks/bench_micro.py -q \
     --benchmark-min-rounds=1 --benchmark-warmup=off --benchmark-max-time=0.1 \
     --benchmark-json=out/bench-smoke.json
+
+  # Surface the trace-synthesis speedup (vectorized two-phase vs the
+  # scalar per-token oracle) in the job log so regressions are visible.
+  python - out/bench-smoke.json <<'PY'
+import json
+import sys
+
+rows = {
+    bench["name"]: bench["stats"]["mean"]
+    for bench in json.load(open(sys.argv[1]))["benchmarks"]
+    if bench.get("group") == "trace-synthesis"
+}
+for mode in ("forced", "free"):
+    scalar = rows.get(f"test_bench_synthesis_scalar_{mode}")
+    fast = rows.get(f"test_bench_synthesis_vectorized_{mode}")
+    if scalar and fast:
+        print(f"trace-synthesis {mode}: {scalar / fast:.1f}x "
+              f"(scalar {scalar * 1e3:.1f}ms -> vectorized {fast * 1e3:.1f}ms)")
+PY
 }
 
 sweep_smoke() {

@@ -71,8 +71,7 @@ class BranchDataset:
         unique = np.unique(self.groups)
         perm = rng.permutation(unique)
         cut = max(1, int(round(fraction * len(unique))))
-        first_groups = set(perm[:cut].tolist())
-        mask = np.array([g in first_groups for g in self.groups])
+        mask = np.isin(self.groups, perm[:cut])
         return self._mask(mask), self._mask(~mask)
 
     def _mask(self, mask: np.ndarray) -> "BranchDataset":
@@ -85,10 +84,13 @@ class BranchDataset:
 
     def branching_counts_per_generation(self) -> np.ndarray:
         """Branching points per generation (Figure 3b's histogram input)."""
-        counts = []
-        for g in np.unique(self.groups):
-            counts.append(int(self.labels[self.groups == g].sum()))
-        return np.asarray(counts, dtype=int)
+        if not len(self.groups):
+            return np.zeros(0, dtype=int)
+        unique = np.unique(self.groups)
+        counts = np.bincount(
+            self.groups, weights=self.labels, minlength=int(unique[-1]) + 1
+        )
+        return counts[unique].astype(int)
 
 
 def collect_branch_dataset(
@@ -106,23 +108,33 @@ def collect_branch_dataset(
     if traces is not None and len(traces) != len(instances):
         raise ValueError("traces must align one-to-one with instances")
     hidden_blocks: list[np.ndarray] = []
-    labels: list[bool] = []
-    groups: list[int] = []
+    label_blocks: list[np.ndarray] = []
+    group_blocks: list[np.ndarray] = []
     ids: list[str] = []
     for idx, instance in enumerate(instances):
         trace = traces[idx] if traces is not None else llm.teacher_forced_trace(instance)
         ids.append(instance.instance_id)
-        for step in trace.steps:
-            hidden_blocks.append(step.hidden)
-            # Label derivation per §3.1: the proposal diverged from the
-            # gold continuation (which teacher forcing then committed).
-            labels.append(step.proposed != step.committed)
-            groups.append(idx)
+        if not trace.steps:
+            continue
+        # Columnar assembly: one (n, layers, dim) block per trace (a view
+        # of the trace's hidden stack on the fast path) instead of one
+        # Python list entry per token.
+        hidden_blocks.append(trace.hidden_matrix())
+        # Label derivation per §3.1: the proposal diverged from the
+        # gold continuation (which teacher forcing then committed).
+        label_blocks.append(
+            np.fromiter(
+                (step.proposed != step.committed for step in trace.steps),
+                dtype=bool,
+                count=len(trace.steps),
+            )
+        )
+        group_blocks.append(np.full(len(trace.steps), idx, dtype=int))
     if not hidden_blocks:
         raise ValueError("no tokens collected — empty instance list?")
     return BranchDataset(
-        hidden=np.stack(hidden_blocks),
-        labels=np.asarray(labels, dtype=bool),
-        groups=np.asarray(groups, dtype=int),
+        hidden=np.concatenate(hidden_blocks),
+        labels=np.concatenate(label_blocks),
+        groups=np.concatenate(group_blocks),
         instance_ids=ids,
     )

@@ -10,8 +10,9 @@ sessions supporting teacher forcing and mid-generation intervention.
 from repro.llm.tokenizer import EOS, SEP, tokenize_identifier, tokenize_items, detokenize
 from repro.llm.trie import ItemTrie
 from repro.llm.errors import ErrorEvent, ErrorModelConfig, plan_errors, error_propensity
-from repro.llm.hidden import HiddenStateSynthesizer, HiddenConfig
+from repro.llm.hidden import HiddenStateSynthesizer, HiddenConfig, TraceStreams
 from repro.llm.model import (
+    SIMULATOR_VERSION,
     GenerationSession,
     GenerationStep,
     GenerationTrace,
@@ -32,6 +33,8 @@ __all__ = [
     "error_propensity",
     "HiddenStateSynthesizer",
     "HiddenConfig",
+    "TraceStreams",
+    "SIMULATOR_VERSION",
     "GenerationSession",
     "GenerationStep",
     "GenerationTrace",

@@ -1,4 +1,4 @@
-"""Per-layer hidden-state synthesis.
+"""Per-layer hidden-state synthesis (simulator identity ``hidden-v2``).
 
 The simulator emits an ``(n_layers, dim)`` hidden-state stack per
 generated token, constructed so that:
@@ -16,20 +16,49 @@ generated token, constructed so that:
   AND wrong tokens (Figure 3a), which is what defeats logit-based
   uncertainty baselines and motivates hidden-state probing.
 
-Everything is a pure function of (model seed, instance id, position),
-so traces are bit-reproducible.
+Randomness comes from *trace-level named streams* (``hidden-v2``): one
+:func:`~repro.utils.rng.spawn` per (stream name, instance) yields a
+prefix-extendable array covering every position of the trace — e.g.
+``spawn(seed, "noise", instance_id)`` produces the whole ``(n, n_layers,
+dim)`` noise tensor in one draw — instead of three fresh generators per
+token.  Position ``p`` of a stream is the same value whether the stream
+is materialized one token at a time (the incremental
+:class:`~repro.llm.model.GenerationSession`) or all at once (the batch
+APIs below), so the scalar session remains a bit-exact reference oracle
+for the vectorized two-phase fast path.  Everything stays a pure
+function of (model seed, instance id, position): traces are
+bit-reproducible within a simulator version.  ``hidden-v2`` changed the
+bit-level trace content relative to the per-token v1 scheme, which is
+why :data:`SIMULATOR_VERSION` participates in the backend identity and
+persistent-cache namespaces (old stores are simply not consulted).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utils.rng import spawn
 
-__all__ = ["HiddenConfig", "HiddenStateSynthesizer"]
+__all__ = [
+    "SIMULATOR_VERSION",
+    "HiddenConfig",
+    "HiddenStateSynthesizer",
+    "TraceStreams",
+]
+
+# Bit-level identity of the synthesized observables. Bumped whenever the
+# mapping (seed, instance, position) -> (hidden, max_prob) changes, so
+# persistent-cache namespaces and backend identities never mix traces
+# from different schemes. v2: trace-level named streams + vectorized
+# two-phase synthesis (see the module docstring).
+SIMULATOR_VERSION = "hidden-v2"
+
+# Default bound on the synthesizer's embedding cache (distinct
+# (kind, text) entries). Embeddings are pure functions of their key, so
+# eviction is value-safe — a re-request is recomputed bit-identically.
+EMBED_CACHE_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -104,8 +133,108 @@ class HiddenConfig:
         )
 
 
+class _Stream:
+    """One prefix-extendable random array (lazily grown, never redrawn).
+
+    The generator itself is spawned on first use — a stream a trace
+    never reads (e.g. signal magnitudes of a clean, quiet generation)
+    costs nothing. Extension relies on a numpy property the test suite
+    pins: filling an array from a ``Generator`` draws
+    element-sequentially, so extending a retained generator by ``k``
+    more rows yields exactly the tail of a one-shot ``n + k``-row draw
+    from a fresh generator with the same seed.
+    """
+
+    __slots__ = ("_spawn", "_rng", "_draw", "_buf")
+
+    def __init__(self, spawn_rng, draw):
+        self._spawn = spawn_rng  # () -> fresh Generator for this stream
+        self._rng: "np.random.Generator | None" = None
+        self._draw = draw  # draw(rng, k) -> array with k leading rows
+        self._buf: "np.ndarray | None" = None
+
+    def take(self, n: int) -> np.ndarray:
+        """The first ``n`` rows of this stream (amortized O(n) growth).
+
+        A whole-trace batch call draws exactly once; the incremental
+        session's growing prefixes double the buffer, so per-token reads
+        stay O(1) amortized.
+        """
+        if self._buf is None:
+            self._rng = self._spawn()
+            self._buf = self._draw(self._rng, max(n, 1))
+        elif len(self._buf) < n:
+            grow = max(n - len(self._buf), len(self._buf))
+            self._buf = np.concatenate([self._buf, self._draw(self._rng, grow)])
+        return self._buf[:n]
+
+
+class TraceStreams:
+    """The named random streams of one generation trace (``hidden-v2``).
+
+    Each stream is an independent :func:`~repro.utils.rng.spawn` keyed by
+    (model seed, stream name, instance id) and indexed by token position.
+    Fixed per-token consumption — every position always owns one noise
+    block, one signal normal, two signal uniforms and one beta draw per
+    probability class — is what makes the incremental session and the
+    whole-trace batch APIs read identical values.
+    """
+
+    def __init__(self, seed: int, instance_id: str, config: HiddenConfig):
+        layers, dim = config.n_layers, config.dim
+        a_c, b_c, _ = config.prob_correct_beta
+        a_b, b_b, _ = config.prob_branch_beta
+        self._noise = _Stream(
+            lambda: spawn(seed, "noise", instance_id),
+            lambda rng, k: rng.normal(size=(k, layers, dim)),
+        )
+        self._signal_z = _Stream(
+            lambda: spawn(seed, "signal", instance_id, "z"),
+            lambda rng, k: rng.normal(size=k),
+        )
+        self._signal_u = _Stream(
+            lambda: spawn(seed, "signal", instance_id, "u"),
+            lambda rng, k: rng.random(size=(k, 2)),
+        )
+        self._prob_correct = _Stream(
+            lambda: spawn(seed, "prob", instance_id, "correct"),
+            lambda rng, k: rng.beta(a_c, b_c, size=k),
+        )
+        self._prob_branch = _Stream(
+            lambda: spawn(seed, "prob", instance_id, "branch"),
+            lambda rng, k: rng.beta(a_b, b_b, size=k),
+        )
+
+    def noise(self, n: int) -> np.ndarray:
+        """Positions ``0..n-1`` of the ``(n, n_layers, dim)`` noise tensor."""
+        return self._noise.take(n)
+
+    def signal_z(self, n: int) -> np.ndarray:
+        """Per-position standard normals driving signal magnitudes."""
+        return self._signal_z.take(n)
+
+    def signal_u(self, n: int) -> np.ndarray:
+        """Per-position ``(n, 2)`` uniforms: (faint/rate check, lookalike)."""
+        return self._signal_u.take(n)
+
+    def prob_correct(self, n: int) -> np.ndarray:
+        """Per-position Beta deficits for non-branching tokens."""
+        return self._prob_correct.take(n)
+
+    def prob_branch(self, n: int) -> np.ndarray:
+        """Per-position Beta deficits for branching tokens."""
+        return self._prob_branch.take(n)
+
+
 class HiddenStateSynthesizer:
-    """Deterministic hidden-state and softmax-probability generator."""
+    """Deterministic hidden-state and softmax-probability generator.
+
+    The per-token methods (``hidden_states``, ``signal_strength``,
+    ``max_prob``) and the whole-trace batch APIs (``hidden_states_batch``,
+    ``signal_strengths_batch``, ``max_probs_batch``) share one vectorized
+    kernel and one set of :class:`TraceStreams`, so a value computed
+    token-by-token is bit-identical to the same position of a batch call.
+    """
 
     def __init__(self, config: "HiddenConfig | None" = None, seed: int = 0):
         self.config = config or HiddenConfig()
@@ -114,53 +243,249 @@ class HiddenStateSynthesizer:
         rng = spawn(seed, "hidden-weights")
         # Fixed per-model projections and per-layer uncertainty directions.
         self._W = rng.normal(
-            0.0, 1.0 / math.sqrt(cfg.feature_dim), size=(cfg.n_layers, cfg.dim, cfg.feature_dim)
+            0.0, 1.0 / np.sqrt(cfg.feature_dim), size=(cfg.n_layers, cfg.dim, cfg.feature_dim)
         )
         self._b = rng.normal(0.0, 0.1, size=(cfg.n_layers, cfg.dim))
         dirs = rng.normal(size=(cfg.n_layers, cfg.dim))
         self._dirs = dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
         self._gains = np.asarray(cfg.layer_gains, dtype=float)
+        # Signal is always applied as strength * (gain * direction); the
+        # scalar and batch paths must associate identically for bit
+        # equality, so the (n_layers, dim) product is fixed here.
+        self._signal_dirs = self._gains[:, None] * self._dirs
         self._embed_cache: dict[tuple[str, str], np.ndarray] = {}
+        self.embed_cache_cap = EMBED_CACHE_CAP
+        self._embed_hits = 0
+        self._embed_misses = 0
+
+    def trace_streams(self, instance_id: str) -> TraceStreams:
+        """Fresh named streams for one trace (pure in seed + instance)."""
+        return TraceStreams(self.seed, instance_id, self.config)
 
     # -- embeddings ----------------------------------------------------------
+
+    @property
+    def embed_cache_stats(self) -> dict:
+        """Hit/miss/size counters of the bounded embedding cache."""
+        return {
+            "hits": self._embed_hits,
+            "misses": self._embed_misses,
+            "size": len(self._embed_cache),
+            "cap": self.embed_cache_cap,
+        }
 
     def _embed(self, kind: str, text: str, dim: int) -> np.ndarray:
         key = (kind, text)
         cached = self._embed_cache.get(key)
         if cached is None:
+            self._embed_misses += 1
             rng = spawn(self.seed, "embed", kind, text)
             cached = rng.normal(0.0, 1.0, size=dim)
+            # FIFO bound: a sweep touches unboundedly many distinct
+            # instance ids; embeddings are recomputable pure functions,
+            # so dropping the oldest entry is always safe.
+            while len(self._embed_cache) >= self.embed_cache_cap:
+                self._embed_cache.pop(next(iter(self._embed_cache)))
             self._embed_cache[key] = cached
+        else:
+            self._embed_hits += 1
         return cached
 
-    def _features(
+    def _embed_rows(self, kind: str, texts, dim: int) -> np.ndarray:
+        """Gather cached embeddings into an ``(n, dim)`` matrix."""
+        out = np.empty((len(texts), dim))
+        local: dict[str, np.ndarray] = {}
+        for i, text in enumerate(texts):
+            row = local.get(text)
+            if row is None:
+                row = local[text] = self._embed(kind, text, dim)
+            out[i] = row
+        return out
+
+    def features_batch(
         self,
         instance_id: str,
-        position: int,
-        token: str,
-        prev_token: str,
-        item_index: int,
-        within_index: int,
+        tokens,
+        prev_tokens,
+        item_indexes,
+        within_indexes,
+        positions=None,
     ) -> np.ndarray:
-        cfg = self.config
-        pos = float(position)
-        parts = [
-            self._embed("tok", token, cfg.token_embed_dim),
-            self._embed("prev", prev_token, cfg.prev_embed_dim),
-            self._embed("inst", instance_id, cfg.instance_embed_dim),
-            np.array(
-                [
-                    math.sin(pos / 3.0),
-                    math.cos(pos / 3.0),
-                    math.sin(pos / 11.0),
-                    math.cos(pos / 11.0),
-                ]
-            ),
-            np.array([item_index / 5.0, within_index / 5.0]),
-        ]
-        return np.concatenate(parts)
+        """The ``(n, feature_dim)`` feature matrix for ``n`` tokens.
 
-    # -- public API ------------------------------------------------------------
+        ``positions`` defaults to ``0..n-1`` (a whole trace); the scalar
+        per-token path passes a single explicit position.
+        """
+        cfg = self.config
+        n = len(tokens)
+        if positions is None:
+            positions = np.arange(n, dtype=float)
+        else:
+            positions = np.asarray(positions, dtype=float)
+        phi = np.empty((n, cfg.feature_dim))
+        offset = 0
+        phi[:, offset : offset + cfg.token_embed_dim] = self._embed_rows(
+            "tok", tokens, cfg.token_embed_dim
+        )
+        offset += cfg.token_embed_dim
+        phi[:, offset : offset + cfg.prev_embed_dim] = self._embed_rows(
+            "prev", prev_tokens, cfg.prev_embed_dim
+        )
+        offset += cfg.prev_embed_dim
+        phi[:, offset : offset + cfg.instance_embed_dim] = self._embed(
+            "inst", instance_id, cfg.instance_embed_dim
+        )
+        offset += cfg.instance_embed_dim
+        phi[:, offset] = np.sin(positions / 3.0)
+        phi[:, offset + 1] = np.cos(positions / 3.0)
+        phi[:, offset + 2] = np.sin(positions / 11.0)
+        phi[:, offset + 3] = np.cos(positions / 11.0)
+        phi[:, offset + 4] = np.asarray(item_indexes, dtype=float) / 5.0
+        phi[:, offset + 5] = np.asarray(within_indexes, dtype=float) / 5.0
+        return phi
+
+    # -- the shared vectorized kernels ----------------------------------------
+
+    @staticmethod
+    def _positions(positions, n: int) -> np.ndarray:
+        if positions is None:
+            return np.arange(n)
+        return np.asarray(positions, dtype=int)
+
+    # -- public batch API ------------------------------------------------------
+
+    def signal_strengths_batch(
+        self,
+        instance_id: str,
+        is_branching,
+        decision_points=None,
+        item_indexes=None,
+        nervousness: float = 0.0,
+        positions=None,
+        streams: "TraceStreams | None" = None,
+    ) -> np.ndarray:
+        """Uncertainty-signal magnitudes for ``n`` tokens (0 when absent)."""
+        cfg = self.config
+        is_branching = np.asarray(is_branching, dtype=bool)
+        n = len(is_branching)
+        if n == 0:
+            return np.zeros(0)
+        if decision_points is None:
+            decision_points = np.ones(n, dtype=bool)
+        else:
+            decision_points = np.asarray(decision_points, dtype=bool)
+        if item_indexes is None:
+            item_indexes = np.zeros(n, dtype=int)
+        positions = self._positions(positions, n)
+        if streams is None:
+            streams = self.trace_streams(instance_id)
+        span = int(positions.max()) + 1
+        u = streams.signal_u(span)[positions]
+        rate = (
+            cfg.spurious_rate
+            * (
+                cfg.spurious_nervousness_floor
+                + cfg.spurious_nervousness_gain * nervousness
+            )
+            * cfg.spurious_item_decay ** np.asarray(item_indexes, dtype=float)
+        )
+        fired = decision_points & ~is_branching & (u[:, 0] < rate)
+        if not (is_branching.any() or fired.any()):
+            # A quiet trace never reads the magnitude stream at all.
+            return np.zeros(n)
+        z = streams.signal_z(span)[positions]
+        real = cfg.signal_base * np.exp(cfg.signal_sigma * z)
+        branch = np.where(
+            u[:, 0] < cfg.faint_signal_rate, real * cfg.faint_signal_scale, real
+        )
+        weak = cfg.signal_base * cfg.spurious_weak_scale * np.exp(0.4 * z)
+        spurious = np.where(u[:, 1] < cfg.spurious_real_fraction, real, weak)
+        return np.where(is_branching, branch, np.where(fired, spurious, 0.0))
+
+    def hidden_states_batch(
+        self,
+        instance_id: str,
+        tokens,
+        prev_tokens,
+        item_indexes,
+        within_indexes,
+        is_branching,
+        decision_points=None,
+        nervousness: float = 0.0,
+        positions=None,
+        streams: "TraceStreams | None" = None,
+    ) -> np.ndarray:
+        """The ``(n, n_layers, dim)`` hidden tensor for a whole trace.
+
+        One feature gather, one ``(n,f)×(l,d,f)`` einsum + tanh, one
+        signal kernel and one noise-stream slice cover every token —
+        this is the vectorized observable phase of trace synthesis.
+        """
+        cfg = self.config
+        n = len(tokens)
+        positions = self._positions(positions, n)
+        if streams is None:
+            streams = self.trace_streams(instance_id)
+        phi = self.features_batch(
+            instance_id,
+            tokens,
+            prev_tokens,
+            item_indexes,
+            within_indexes,
+            positions=positions,
+        )
+        # optimize=False keeps einsum's fixed element-sequential summation
+        # so each output row is independent of the batch size (the scalar
+        # session computes the same rows one at a time).
+        base = np.tanh(np.einsum("nf,ldf->nld", phi, self._W) + self._b)
+        strengths = self.signal_strengths_batch(
+            instance_id,
+            is_branching,
+            decision_points,
+            item_indexes,
+            nervousness,
+            positions=positions,
+            streams=streams,
+        )
+        span = int(positions.max()) + 1 if n else 0
+        noise = streams.noise(span)[positions]
+        if strengths.any():
+            base = base + strengths[:, None, None] * self._signal_dirs
+        return base + cfg.noise_scale * noise
+
+    def max_probs_batch(
+        self,
+        instance_id: str,
+        is_branching,
+        positions=None,
+        streams: "TraceStreams | None" = None,
+    ) -> np.ndarray:
+        """Over-confident max softmax probabilities for ``n`` tokens."""
+        cfg = self.config
+        is_branching = np.asarray(is_branching, dtype=bool)
+        n = len(is_branching)
+        if n == 0:
+            return np.zeros(0)
+        positions = self._positions(positions, n)
+        if streams is None:
+            streams = self.trace_streams(instance_id)
+        span = int(positions.max()) + 1
+        _, _, scale_c = cfg.prob_correct_beta
+        _, _, scale_b = cfg.prob_branch_beta
+        # Each class reads only its own stream (most traces are clean
+        # and never touch the branching one); values are identical to
+        # slicing both streams and selecting by label.
+        out = np.empty(n)
+        correct = ~is_branching
+        if correct.any():
+            out[correct] = 1.0 - scale_c * streams.prob_correct(span)[positions[correct]]
+        if is_branching.any():
+            out[is_branching] = (
+                1.0 - scale_b * streams.prob_branch(span)[positions[is_branching]]
+            )
+        return out
+
+    # -- per-token API (the scalar session's view of the same streams) --------
 
     def signal_strength(
         self,
@@ -170,33 +495,19 @@ class HiddenStateSynthesizer:
         decision_point: bool = True,
         nervousness: float = 0.0,
         item_index: int = 0,
+        streams: "TraceStreams | None" = None,
     ) -> float:
         """The uncertainty-signal magnitude for one token (0 when absent)."""
-        cfg = self.config
-        rng = spawn(self.seed, "signal", instance_id, position)
-        if is_branching:
-            strength = cfg.signal_base * float(rng.lognormal(0.0, cfg.signal_sigma))
-            if rng.random() < cfg.faint_signal_rate:
-                strength *= cfg.faint_signal_scale
-            return strength
-        rate = (
-            cfg.spurious_rate
-            * (
-                cfg.spurious_nervousness_floor
-                + cfg.spurious_nervousness_gain * nervousness
-            )
-            * cfg.spurious_item_decay**item_index
+        out = self.signal_strengths_batch(
+            instance_id,
+            [is_branching],
+            [decision_point],
+            [item_index],
+            nervousness,
+            positions=[position],
+            streams=streams,
         )
-        if decision_point and rng.random() < rate:
-            if rng.random() < cfg.spurious_real_fraction:
-                # A lookalike: indistinguishable from a true branching signal.
-                return cfg.signal_base * float(rng.lognormal(0.0, cfg.signal_sigma))
-            return (
-                cfg.signal_base
-                * cfg.spurious_weak_scale
-                * float(rng.lognormal(0.0, 0.4))
-            )
-        return 0.0
+        return float(out[0])
 
     def hidden_states(
         self,
@@ -209,33 +520,32 @@ class HiddenStateSynthesizer:
         is_branching: bool,
         decision_point: bool = True,
         nervousness: float = 0.0,
+        streams: "TraceStreams | None" = None,
     ) -> np.ndarray:
         """The ``(n_layers, dim)`` hidden stack for one generated token."""
-        cfg = self.config
-        phi = self._features(
-            instance_id, position, token, prev_token, item_index, within_index
-        )
-        base = np.tanh(np.einsum("ldf,f->ld", self._W, phi) + self._b)
-        strength = self.signal_strength(
+        out = self.hidden_states_batch(
             instance_id,
-            position,
-            is_branching,
-            decision_point,
+            [token],
+            [prev_token],
+            [item_index],
+            [within_index],
+            [is_branching],
+            [decision_point],
             nervousness,
-            item_index=item_index,
+            positions=[position],
+            streams=streams,
         )
-        if strength > 0.0:
-            base = base + (self._gains * strength)[:, None] * self._dirs
-        noise_rng = spawn(self.seed, "noise", instance_id, position)
-        return base + cfg.noise_scale * noise_rng.normal(
-            size=(cfg.n_layers, cfg.dim)
-        )
+        return out[0]
 
-    def max_prob(self, instance_id: str, position: int, is_branching: bool) -> float:
+    def max_prob(
+        self,
+        instance_id: str,
+        position: int,
+        is_branching: bool,
+        streams: "TraceStreams | None" = None,
+    ) -> float:
         """Over-confident next-token max softmax probability (Figure 3a)."""
-        cfg = self.config
-        a, b, scale = (
-            cfg.prob_branch_beta if is_branching else cfg.prob_correct_beta
+        out = self.max_probs_batch(
+            instance_id, [is_branching], positions=[position], streams=streams
         )
-        rng = spawn(self.seed, "prob", instance_id, position)
-        return float(1.0 - scale * rng.beta(a, b))
+        return float(out[0])

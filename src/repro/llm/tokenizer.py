@@ -14,6 +14,7 @@ Properties the rest of the system relies on:
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 __all__ = ["SEP", "EOS", "MAX_PIECE", "tokenize_identifier", "tokenize_items", "detokenize"]
 
@@ -25,8 +26,15 @@ _RUNS = re.compile(r"[0-9A-Za-z]+|[^0-9A-Za-z]")
 _CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
 
 
+@lru_cache(maxsize=65536)
 def tokenize_identifier(name: str) -> tuple[str, ...]:
     """Tokenize one identifier into subword tokens.
+
+    A pure function of ``name``, so results are memoized: generation
+    sessions re-tokenize the same schema identifiers for every plan,
+    re-plan and gold annotation, and the regex split was a measurable
+    slice of the symbolic phase. The returned tuple is immutable and
+    safely shared.
 
     >>> tokenize_identifier("lapTimes")
     ('lap', 'Times')

@@ -36,11 +36,14 @@ appended tails, and tolerate a truncated final line (a writer killed
 mid-append) by leaving it for the next refresh. No file locks are
 needed because segments are single-writer and entries are immutable.
 
-Values round-trip *exactly*: hidden-state matrices are stored as base64
-raw bytes with dtype and shape, so a trace rehydrated from disk is
-bit-identical to the one computed — which is what makes sharded sweeps
-byte-identical to unsharded ones even when probes are trained from
-cached traces.
+Values round-trip *exactly*: a trace's hidden states are stored
+columnar — the whole ``(n_steps, n_layers, dim)`` tensor as one base64
+block with dtype and shape (one encode/decode per trace, matching the
+simulator's columnar ``GenerationTrace``) — so a trace rehydrated from
+disk is bit-identical to the one computed, which is what makes sharded
+sweeps byte-identical to unsharded ones even when probes are trained
+from cached traces. Legacy per-step-blob records (pre-``hidden-v2``
+stores) are still readable.
 
 The SQLite index tier
 ---------------------
@@ -93,14 +96,18 @@ __all__ = [
 INDEX_NAME = "index.sqlite"
 
 
-def generation_namespace(config, seed: int) -> str:
+def generation_namespace(*identity) -> str:
     """The store namespace for one simulated LLM identity.
 
-    A generation is a pure function of (LLM config, LLM seed, instance);
-    the instance is captured by the cache key, the rest lives here.
+    A generation is a pure function of the backend ``identity()`` —
+    (simulator version, LLM config, LLM seed) — and the instance; the
+    instance is captured by the cache key, the rest lives here. The
+    simulator version participates so a bit-level change to trace
+    synthesis (e.g. the ``hidden-v2`` two-phase scheme) lands in a fresh
+    namespace and never aliases traces written by an older scheme.
     """
     digest = hashlib.blake2b(digest_size=8)
-    for part in (repr(config), int(seed)):
+    for part in identity:
         digest.update(repr(part).encode("utf8"))
         digest.update(b"\x1f")
     return f"llm-{digest.hexdigest()}"
@@ -126,45 +133,67 @@ def _decode_array(record: dict) -> np.ndarray:
 
 
 def trace_to_record(trace: GenerationTrace) -> dict:
-    """A JSON-able, bit-exact record of one generation trace."""
+    """A JSON-able, bit-exact record of one generation trace.
+
+    Hidden states are serialized columnar: the whole ``(n, layers,
+    dim)`` tensor as one base64 block (one encode, one decode per
+    trace) rather than one blob per step.
+    """
     return {
         "instance_id": trace.instance_id,
         "aborted": bool(trace.aborted),
+        "hidden": _encode_array(trace.hidden_matrix()),
         "steps": [
             {
                 "position": int(step.position),
                 "proposed": step.proposed,
-                "hidden": _encode_array(step.hidden),
                 "max_prob": float(step.max_prob),
                 "item_index": int(step.item_index),
                 "within_index": int(step.within_index),
                 "is_branching": bool(step.is_branching),
                 "committed": step.committed,
                 "forced": bool(step.forced),
+                "decision_point": bool(step.decision_point),
             }
             for step in trace.steps
         ],
     }
 
 
+def _step_from_record(step: dict, hidden) -> GenerationStep:
+    return GenerationStep(
+        position=step["position"],
+        proposed=step["proposed"],
+        hidden=hidden,
+        max_prob=step["max_prob"],
+        item_index=step["item_index"],
+        within_index=step["within_index"],
+        is_branching=step["is_branching"],
+        committed=step["committed"],
+        forced=step["forced"],
+        decision_point=step.get("decision_point", True),
+    )
+
+
 def trace_from_record(record: dict) -> GenerationTrace:
-    """Rehydrate a trace; inverse of :func:`trace_to_record`."""
+    """Rehydrate a trace; inverse of :func:`trace_to_record`.
+
+    Reads both layouts: the columnar format (one ``hidden`` tensor at
+    the trace level, per-step views) and the legacy per-step-blob
+    format still found in pre-``hidden-v2`` stores.
+    """
+    if "hidden" in record:
+        stack = _decode_array(record["hidden"])
+        steps = [_step_from_record(step, stack[i]) for i, step in enumerate(record["steps"])]
+        return GenerationTrace(
+            instance_id=record["instance_id"],
+            steps=steps,
+            aborted=record["aborted"],
+            hidden_stack=stack,
+        )
     return GenerationTrace(
         instance_id=record["instance_id"],
-        steps=[
-            GenerationStep(
-                position=step["position"],
-                proposed=step["proposed"],
-                hidden=_decode_array(step["hidden"]),
-                max_prob=step["max_prob"],
-                item_index=step["item_index"],
-                within_index=step["within_index"],
-                is_branching=step["is_branching"],
-                committed=step["committed"],
-                forced=step["forced"],
-            )
-            for step in record["steps"]
-        ],
+        steps=[_step_from_record(step, _decode_array(step["hidden"])) for step in record["steps"]],
         aborted=record["aborted"],
     )
 

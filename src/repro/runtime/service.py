@@ -16,8 +16,9 @@ the seam between *what* to generate and *how* it is executed and cached:
                 \"\"\"Traces for ``requests``, in request order.\"\"\"
 
             def identity(self) -> tuple:
-                \"\"\"(config, seed)-like tuple pinning the generation
-                function; feeds the persistent cache namespace via
+                \"\"\"(simulator version, config, seed)-like tuple
+                pinning the generation function; feeds the persistent
+                cache namespace via
                 :func:`~repro.runtime.persist.generation_namespace`.\"\"\"
 
     Contract: ``generate`` is a *pure function* of (identity, request) —
@@ -57,7 +58,7 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
-from repro.llm.model import GenerationTrace, TransparentLLM
+from repro.llm.model import SIMULATOR_VERSION, GenerationTrace, TransparentLLM
 from repro.runtime.cache import _MISS, CacheStats, GenerationCache, instance_key
 from repro.runtime.persist import (
     PersistentGenerationCache,
@@ -149,7 +150,13 @@ class SimulatorBackend:
         return self.llm
 
     def identity(self) -> tuple:
-        return (self.llm.config, self.llm.seed)
+        # The simulator version pins the bit-level trace scheme: a
+        # synthesis change (hidden-v2) must land in a fresh namespace.
+        return (
+            getattr(self.llm, "version", SIMULATOR_VERSION),
+            self.llm.config,
+            self.llm.seed,
+        )
 
     def _one(self, request: GenerationRequest) -> GenerationTrace:
         if request.kind == FORCED:
@@ -486,10 +493,9 @@ class GenerationService:
         else:
             backend = SimulatorBackend(llm, pool=pool)
         if cache is None and cache_dir is not None:
-            config, seed = backend.identity()
             cache = PersistentGenerationCache(
                 cache_dir,
-                namespace=generation_namespace(config, seed),
+                namespace=generation_namespace(*backend.identity()),
                 use_index=use_index,
             )
         return cls(backend, cache=cache)
@@ -511,8 +517,7 @@ class GenerationService:
 
     def namespace(self) -> str:
         """The persistent-store namespace for this backend identity."""
-        config, seed = self.backend.identity()
-        return generation_namespace(config, seed)
+        return generation_namespace(*self.backend.identity())
 
     def close(self) -> None:
         """Release backend and cache resources (scheduler thread, file

@@ -27,7 +27,7 @@ import pytest
 from helpers import assert_traces_equal, make_trace
 
 from repro.core.pipeline import RTSPipeline
-from repro.llm.model import TransparentLLM
+from repro.llm.model import SIMULATOR_VERSION, TransparentLLM
 from repro.runtime.cache import CachingLLM
 from repro.runtime.persist import (
     INDEX_NAME,
@@ -160,9 +160,8 @@ def test_async_backend_identity_delegates_to_inner():
     assert backend.identity() == inner.identity()
     # Same identity -> same persistent namespace: both backends share
     # one store, which is what makes the --backend axis cache-neutral.
-    config, seed = backend.identity()
-    assert generation_namespace(config, seed) == generation_namespace(
-        inner.llm.config, inner.llm.seed
+    assert generation_namespace(*backend.identity()) == generation_namespace(
+        SIMULATOR_VERSION, inner.llm.config, inner.llm.seed
     )
 
 
@@ -282,7 +281,7 @@ def test_service_memoizes_and_dedupes_within_a_batch(table_instances):
 def test_service_tier_promotion_and_eviction(tmp_path, table_instances):
     instances = table_instances[:3]
     llm = TransparentLLM(seed=11)
-    namespace = generation_namespace(llm.config, llm.seed)
+    namespace = generation_namespace(SIMULATOR_VERSION, llm.config, llm.seed)
 
     writer = GenerationService(
         SimulatorBackend(llm),
@@ -324,7 +323,7 @@ def test_service_tier_promotion_and_eviction(tmp_path, table_instances):
 def test_service_sqlite_tier_after_compaction(tmp_path, table_instances):
     instances = table_instances[:3]
     llm = TransparentLLM(seed=11)
-    namespace = generation_namespace(llm.config, llm.seed)
+    namespace = generation_namespace(SIMULATOR_VERSION, llm.config, llm.seed)
     writer = GenerationService.build(llm, cache_dir=tmp_path)
     cold = writer.free_traces(instances) + writer.forced_traces(instances)
     writer.cache.close()

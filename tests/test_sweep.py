@@ -19,7 +19,7 @@ import pytest
 
 from helpers import assert_traces_equal, make_trace
 
-from repro.llm.model import TransparentLLM
+from repro.llm.model import SIMULATOR_VERSION, TransparentLLM
 from repro.runtime.cache import CacheStats, CachingLLM
 from repro.runtime.persist import (
     PersistentGenerationCache,
@@ -275,7 +275,7 @@ def test_caching_llm_over_persistent_store(bird_tiny, tmp_path):
 
     instance = RTSPipeline.instance_for(bird_tiny.dev.examples[0], bird_tiny, "table")
     base = TransparentLLM(seed=11)
-    namespace = generation_namespace(base.config, base.seed)
+    namespace = generation_namespace(SIMULATOR_VERSION, base.config, base.seed)
 
     warm = CachingLLM(base, cache=PersistentGenerationCache(tmp_path, namespace))
     expected = warm.generate(instance)
