@@ -186,12 +186,14 @@ def test_bench_generation_cache_cold_vs_warm(benchmark, ctx):
 # -- generation service backends ----------------------------------------------
 #
 # Same uncached workload (free + teacher-forced traces over the dev
-# split) through both generation backends. Compare the "service" group's
+# split) through every generation backend. Compare the "service" group's
 # rows: at tiny scale the async scheduler's per-batch overhead (queue
-# hops, wait windows, thread handoff) dominates, so this tracks that
-# overhead staying bounded; the coalescing wins show up with real
-# workloads (remote/batched backends, many concurrent submitters).
-# Output bytes must never differ between the rows (pinned by tests).
+# hops, wait windows, thread handoff) and the process backend's IPC
+# overhead (pickle framing over pipes) dominate, so these track that
+# overhead staying bounded; the coalescing / crash-isolation wins show
+# up with real workloads (GIL-bound kernels, many concurrent
+# submitters). Output bytes must never differ between the rows (pinned
+# by tests).
 
 
 @pytest.fixture(scope="module")
@@ -225,6 +227,15 @@ def test_bench_service_async_batched_backend(benchmark, service_requests):
         max_wait_ms=1.0,
         workers=4,
     ) as backend:
+        benchmark(lambda: backend.generate(service_requests))
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_process_backend(benchmark, service_requests):
+    from repro.runtime.remote import ProcessBackend
+
+    with ProcessBackend(TransparentLLM(seed=11), workers=2) as backend:
+        backend.ping()  # workers booted outside the timed region
         benchmark(lambda: backend.generate(service_requests))
 
 

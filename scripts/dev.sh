@@ -6,7 +6,8 @@
 #   scripts/dev.sh test          # tier-1 pytest suite
 #   scripts/dev.sh bench-smoke   # micro-benchmarks once each + JSON artifact
 #   scripts/dev.sh sweep-smoke   # sharded sweep + warm-cache + merge identity
-#   scripts/dev.sh service-smoke # simulator-vs-async byte identity + compacted
+#   scripts/dev.sh service-smoke # simulator/async/process byte identity,
+#                                # kill-one-worker crash recovery, compacted
 #                                # SQLite-indexed warm run with zero misses
 #   scripts/dev.sh all           # everything, in CI order (the default)
 set -euo pipefail
@@ -20,7 +21,7 @@ lint() {
   }
   ruff check src tests benchmarks examples
   # New subsystems hold the line on formatting; legacy files migrate over time.
-  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/helpers.py
+  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/helpers.py
 }
 
 tier1() {
@@ -121,9 +122,53 @@ service_smoke() {
     --cache-dir "$out/gen-sim" > "$out/sim.json"
   run "${axes[@]}" --backend async --max-batch 4 --max-wait-ms 2 \
     --artifact "$out/async.jsonl" --cache-dir "$out/gen-async" > "$out/async.json"
+  run "${axes[@]}" --backend process --worker-log-dir "$out/worker-logs" \
+    --artifact "$out/process.jsonl" --cache-dir "$out/gen-process" \
+    > "$out/process.json"
 
   # The backend axis must not change a single summary byte.
   cmp "$out/sim.jsonl.summary.json" "$out/async.jsonl.summary.json"
+  cmp "$out/sim.jsonl.summary.json" "$out/process.jsonl.summary.json"
+
+  # Crash recovery: SIGKILL one worker mid-batch; the run must still
+  # complete with traces bit-identical to the simulator's, the victim
+  # replaced, and its in-flight requests requeued (never lost or run
+  # twice). Worker stderr lands in worker-logs/ for the CI artifact.
+  REPRO_WORKER_CHAOS_DELAY_MS=40 python - "$out/worker-logs" <<'PY'
+import os
+import signal
+import sys
+import threading
+
+from repro.core.pipeline import RTSPipeline
+from repro.corpus.bird import BirdBuilder
+from repro.corpus.generator import CorpusScale
+from repro.llm.model import TransparentLLM
+from repro.runtime.remote import ProcessBackend
+from repro.runtime.service import FORCED, FREE, GenerationRequest, SimulatorBackend
+
+bench = BirdBuilder(seed=7, scale=CorpusScale.tiny()).build()
+instances = [RTSPipeline.instance_for(e, bench, "table") for e in bench.dev.examples]
+requests = [GenerationRequest(FREE, i) for i in instances]
+requests += [GenerationRequest(FORCED, i) for i in instances]
+reference = SimulatorBackend(TransparentLLM(seed=11)).generate(requests)
+
+with ProcessBackend(TransparentLLM(seed=11), workers=2, log_dir=sys.argv[1]) as backend:
+    victim = backend.ping()[0]
+    threading.Timer(0.2, os.kill, (victim, signal.SIGKILL)).start()
+    traces = backend.generate(requests)
+    stats = backend.stats
+
+assert len(traces) == len(reference), "a generation was lost"
+for a, b in zip(reference, traces):
+    assert a.instance_id == b.instance_id
+    assert a.hidden_matrix().tobytes() == b.hidden_matrix().tobytes()
+    assert [s.proposed for s in a.steps] == [s.proposed for s in b.steps]
+assert stats.n_restarts >= 1, f"victim never replaced: {stats}"
+assert stats.n_requeued >= 1, f"in-flight work never requeued: {stats}"
+assert stats.n_duplicate_results == 0, f"a generation resolved twice: {stats}"
+print(f"kill-one-worker recovery OK: {stats}")
+PY
 
   # Compact the async store (builds the SQLite index tier), then a warm
   # re-run against it: byte-identical summary, zero new generations.
@@ -149,7 +194,8 @@ assert stats[namespace]["indexed"], f"compaction built no index: {stats}"
 assert stats[namespace]["segments"] == 1, f"compaction left segments: {stats}"
 print(f"service-smoke OK: warm={warm} store={stats[namespace]}")
 PY
-  echo "service-smoke passed: backends byte-identical, compacted+indexed warm run fully hit"
+  echo "service-smoke passed: backends byte-identical (incl. process)," \
+       "kill-one-worker recovery clean, compacted+indexed warm run fully hit"
 }
 
 case "${1:-all}" in

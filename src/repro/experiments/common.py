@@ -10,7 +10,8 @@ and the LLM is a :class:`~repro.runtime.cache.CachingLLM` adapter over
 a :class:`~repro.runtime.service.GenerationService`, so repeated
 generations across tables/figures are computed once and the execution
 backend is swappable (``gen_backend="simulator"`` for direct in-process
-calls, ``"async"`` for microbatch-coalescing asyncio scheduling — both
+calls, ``"async"`` for microbatch-coalescing asyncio scheduling,
+``"process"`` for crash-isolated worker subprocesses — all
 byte-identical by construction).
 
 With ``cache_dir`` (or the ``REPRO_CACHE_DIR`` environment variable via
@@ -120,6 +121,7 @@ class ExperimentContext:
         gen_backend: str = SIMULATOR,
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
+        worker_log_dir: "str | Path | None" = None,
         service: "GenerationService | None" = None,
     ):
         self.corpus_seed = corpus_seed
@@ -131,6 +133,7 @@ class ExperimentContext:
         self.gen_backend = gen_backend
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.worker_log_dir = worker_log_dir
         self._cache = cache
         self._service = service
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -181,6 +184,7 @@ class ExperimentContext:
                     max_batch=self.max_batch,
                     max_wait_ms=self.max_wait_ms,
                     workers=max(1, self.workers),
+                    worker_log_dir=self.worker_log_dir,
                 )
                 self._llm = CachingLLM(base, service=self._service)
         return self._llm
@@ -199,6 +203,12 @@ class ExperimentContext:
         """
         if self._service is not None:
             self._service.close()
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def pool(self) -> WorkerPool:

@@ -5,12 +5,16 @@ Examples
 Link-level sweep with four threads, streaming a resumable artifact; the
 ``--backend`` axis picks the generation backend (``simulator`` for
 direct in-process calls, ``async`` for microbatch-coalescing asyncio
-scheduling — byte-identical summaries either way), and ``--cache-dir``
+scheduling, ``process`` for crash-isolated worker subprocesses —
+byte-identical summaries whichever is chosen), and ``--cache-dir``
 (defaulting to ``$REPRO_CACHE_DIR``) shares the persistent generation
 store with sweeps and the table/figure drivers::
 
     repro-run --benchmark bird --split dev --task table --mode abstain \
         --workers 4 --backend async --artifact out/bird-table.jsonl
+
+    repro-run --benchmark bird --split dev --task table --mode abstain \
+        --workers 4 --backend process --worker-log-dir out/worker-logs
 
 Joint table→column sweep with the expert human in the loop::
 
@@ -38,7 +42,9 @@ was sharded; ``repro-sweep plan`` previews the shard assignment.
 ``repro-cache`` inspects and maintains the store itself: ``stats``
 reports per-namespace segment/entry/kind tallies, ``compact`` folds all
 segments into one and builds the SQLite index tier for O(1) cold
-lookups::
+lookups. Compaction fails fast while another writer holds a live
+per-namespace lock (``--force`` overrides, accepting that concurrently
+appended entries may be dropped)::
 
     repro-cache stats --cache-dir out/gen
     repro-cache compact --cache-dir out/gen
@@ -106,8 +112,9 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=GEN_BACKENDS,
         default=SIMULATOR,
-        help="generation backend: direct simulator calls or the "
-        "microbatch-coalescing async scheduler (byte-identical results)",
+        help="generation backend: direct simulator calls, the "
+        "microbatch-coalescing async scheduler, or crash-isolated "
+        "worker subprocesses (byte-identical results on every axis)",
     )
     backend.add_argument(
         "--max-batch",
@@ -121,12 +128,39 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         default=2.0,
         help="async backend: max milliseconds a microbatch waits to fill",
     )
+    backend.add_argument(
+        "--worker-log-dir",
+        default=None,
+        help="process backend: directory capturing per-worker stderr logs "
+        "(default: workers inherit this process's stderr)",
+    )
+
+
+RUN_EPILOG = """\
+examples:
+  # four-thread link sweep, resumable artifact, shared generation store
+  repro-run --benchmark bird --split dev --task table --mode abstain \\
+      --workers 4 --artifact out/bird-table.jsonl --cache-dir out/gen
+
+  # the same unit on the async microbatching backend (byte-identical)
+  repro-run --benchmark bird --split dev --task table --mode abstain \\
+      --workers 4 --backend async --max-batch 8 --max-wait-ms 2
+
+  # crash-isolated worker subprocesses, stderr captured per worker
+  repro-run --benchmark bird --split dev --task table --mode abstain \\
+      --workers 4 --backend process --worker-log-dir out/worker-logs
+
+The --backend axis never changes a summary byte: all three backends are
+pure functions of the same requests and share one cache namespace.
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-run",
         description="Batched RTS evaluation over a benchmark split.",
+        epilog=RUN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--benchmark", choices=("bird", "spider"), default="bird")
     parser.add_argument("--split", choices=("train", "dev", "test"), default="dev")
@@ -190,8 +224,9 @@ def main(argv: "list[str] | None" = None) -> int:
         gen_backend=args.backend,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        worker_log_dir=args.worker_log_dir,
     )
-    try:
+    with ctx:
         benchmark = ctx.benchmark(args.benchmark)
         runner = ctx.runner(args.benchmark)
         surrogate = ctx.surrogate(args.benchmark) if args.mode == SURROGATE else None
@@ -235,8 +270,6 @@ def main(argv: "list[str] | None" = None) -> int:
         json.dump(strict_jsonable(payload), sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
         return 0
-    finally:
-        ctx.close()
 
 
 # -- repro-sweep --------------------------------------------------------------
@@ -284,11 +317,29 @@ def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
     )
 
 
+SWEEP_EPILOG = """\
+examples:
+  # two shards (any two machines over a shared filesystem), then merge
+  repro-sweep run --benchmarks bird spider --modes abstain human \\
+      --shard-index 0 --shard-count 2 --out out/sweep --cache-dir out/gen
+  repro-sweep run --benchmarks bird spider --modes abstain human \\
+      --shard-index 1 --shard-count 2 --out out/sweep --cache-dir out/gen \\
+      --backend process --workers 4 --worker-log-dir out/worker-logs
+  repro-sweep merge --out out/sweep
+
+Shards may mix --backend values freely (simulator, async, process):
+unit summaries and the merged sweep-summary.json are byte-identical
+regardless, and all backends share one persistent cache namespace.
+"""
+
+
 def build_sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sweep",
         description="Sharded multi-axis evaluation sweeps with a persistent "
         "cross-process generation cache.",
+        epilog=SWEEP_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -361,7 +412,7 @@ def main_sweep(argv: "list[str] | None" = None) -> int:
     def progress_line(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
-    runner = SweepRunner(
+    with SweepRunner(
         spec,
         args.out,
         cache_dir=args.cache_dir,
@@ -370,13 +421,10 @@ def main_sweep(argv: "list[str] | None" = None) -> int:
         gen_backend=args.backend,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        worker_log_dir=args.worker_log_dir,
         progress=progress_line if args.progress else None,
-    )
-    try:
+    ) as runner:
         manifest = runner.run_shard(args.shard_index, args.shard_count)
-    finally:
-        if runner.service is not None:
-            runner.service.close()
     _emit(manifest)
     return 0
 
@@ -384,10 +432,25 @@ def main_sweep(argv: "list[str] | None" = None) -> int:
 # -- repro-cache --------------------------------------------------------------
 
 
+CACHE_EPILOG = """\
+examples:
+  repro-cache stats --cache-dir out/gen
+  repro-cache compact --cache-dir out/gen
+  repro-cache compact --cache-dir out/gen --namespace llm-0123abcd --force
+
+compact fails fast while another writer holds a live lock on the
+namespace (a crashed writer's stale lock is swept automatically);
+--force overrides, accepting that concurrently appended entries may be
+dropped.
+"""
+
+
 def build_cache_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cache",
         description="Inspect and maintain the persistent generation store.",
+        epilog=CACHE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -420,13 +483,24 @@ def build_cache_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip building the SQLite index tier (segment scans only)",
     )
+    compact.add_argument(
+        "--force",
+        action="store_true",
+        help="compact even while other writers hold live locks (their "
+        "in-flight entries may be dropped)",
+    )
     return parser
 
 
 def main_cache(argv: "list[str] | None" = None) -> int:
     from pathlib import Path
 
-    from repro.runtime.persist import INDEX_NAME, PersistentGenerationCache, store_stats
+    from repro.runtime.persist import (
+        INDEX_NAME,
+        PersistentGenerationCache,
+        WriterActiveError,
+        store_stats,
+    )
 
     parser = build_cache_parser()
     args = parser.parse_args(argv)
@@ -460,7 +534,15 @@ def main_cache(argv: "list[str] | None" = None) -> int:
         cache = PersistentGenerationCache(
             cache_dir, namespace=namespace, use_index=not args.no_index
         )
-        kept = cache.compact(index=not args.no_index)
+        try:
+            kept = cache.compact(index=not args.no_index, force=args.force)
+        except WriterActiveError as exc:
+            # Fail fast, not silently: compacting under an active writer
+            # drops or duplicates its in-flight entries.
+            print(f"repro-cache: {exc}", file=sys.stderr)
+            print("repro-cache: pass --force to compact anyway", file=sys.stderr)
+            cache.close()
+            return 3
         directory = cache.directory
         cache.close()
         # stat() sizes only — no second record-parsing scan of the store.

@@ -59,13 +59,26 @@ compaction (written to a temp file and atomically renamed), so a stale
 index can never shadow newer entries: anything not in the index is
 found by the ordinary tail scan.
 
+Writer locks and compaction safety
+----------------------------------
+Compacting while another writer appends would silently drop (or
+duplicate) that writer's entries, so the rule "compact only while no
+writer is active" is *enforced*: every writer marks its segment with a
+``<segment>.lock`` sidecar (pid + host, removed on close) and
+:meth:`PersistentGenerationCache.compact` fails fast with
+:class:`WriterActiveError` while any *other* live lock exists.
+Same-host locks whose pid is gone are stale — a crashed writer — and
+are swept up; locks from other hosts cannot be probed and count as
+active. ``force=True`` (the CLI's ``--force``) overrides the guard for
+operators who know the writers are actually gone.
+
 Eviction
 --------
 None, by design: entries are content-addressed and immutable, so the
 store only grows and never goes stale. Delete the namespace directory
 (or the whole ``cache_dir``) to evict everything, or call
-:meth:`PersistentGenerationCache.compact` — only while no other writer
-is active — to rewrite all segments into one with duplicates dropped.
+:meth:`PersistentGenerationCache.compact` — guarded as above — to
+rewrite all segments into one with duplicates dropped.
 """
 
 from __future__ import annotations
@@ -74,6 +87,7 @@ import base64
 import hashlib
 import json
 import os
+import socket
 import sqlite3
 import threading
 from pathlib import Path
@@ -85,8 +99,11 @@ from repro.runtime.cache import _MISS, CacheStats, GenerationCache
 
 __all__ = [
     "INDEX_NAME",
+    "LOCK_SUFFIX",
     "PersistentGenerationCache",
     "SqliteSegmentIndex",
+    "WriterActiveError",
+    "active_writer_locks",
     "generation_namespace",
     "store_stats",
     "trace_to_record",
@@ -94,6 +111,56 @@ __all__ = [
 ]
 
 INDEX_NAME = "index.sqlite"
+LOCK_SUFFIX = ".lock"
+
+
+class WriterActiveError(RuntimeError):
+    """``compact()`` refused: another writer holds a live segment lock."""
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # exists, just not ours to signal
+        return True
+    return True
+
+
+def active_writer_locks(
+    directory: "str | Path", exclude: "Path | None" = None
+) -> "list[dict]":
+    """Live writer locks in one namespace directory.
+
+    Parses every ``*.lock`` sidecar: same-host locks whose pid is dead
+    are deleted in passing (crashed writers must not wedge compaction
+    forever) and not reported; unreadable locks are conservatively
+    reported as active with ``"pid": None``; other-host locks cannot be
+    probed and always count as active. ``exclude`` skips the caller's
+    own lock.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    locks: list[dict] = []
+    for path in sorted(directory.glob(f"*{LOCK_SUFFIX}")):
+        if exclude is not None and path == exclude:
+            continue
+        try:
+            info = json.loads(path.read_text())
+            pid = int(info["pid"])
+            host = str(info.get("host", ""))
+        except FileNotFoundError:
+            continue  # unlinked between glob and read: the writer just closed
+        except (OSError, ValueError, KeyError):
+            locks.append({"path": str(path), "pid": None, "host": None})
+            continue
+        if host == socket.gethostname() and not _pid_alive(pid):
+            path.unlink(missing_ok=True)  # stale: the writer crashed
+            continue
+        locks.append({"path": str(path), "pid": pid, "host": host})
+    return locks
 
 
 def generation_namespace(*identity) -> str:
@@ -363,6 +430,7 @@ class PersistentGenerationCache(GenerationCache):
         self._disk_index: dict[str, dict] = {}  # address -> raw value record
         self._offsets: dict[str, int] = {}  # segment name -> bytes consumed
         self._segment_path: "Path | None" = None
+        self._lock_path: "Path | None" = None  # this writer's .lock sidecar
         self._handle = None
         self._index: "SqliteSegmentIndex | None" = None
         # No eager store scan: every read path (probe_disk, _from_disk,
@@ -419,10 +487,7 @@ class PersistentGenerationCache(GenerationCache):
         as fresh ``disk_hits``.
         """
         with self._io_lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
-            self._segment_path = None
+            self._release_segment_locked()
         with self._lock:
             self._data.clear()
             self._hits = 0
@@ -451,18 +516,32 @@ class PersistentGenerationCache(GenerationCache):
     def close(self) -> None:
         """Close this writer's segment handle (entries stay on disk)."""
         with self._io_lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            self._release_segment_locked()
             if self._index is not None:
                 self._index.close()
                 self._index = None
 
-    def compact(self, index: "bool | None" = None) -> int:
+    def _release_segment_locked(self) -> None:
+        """Retire the open segment and its writer lock (io_lock held)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._segment_path = None
+        if self._lock_path is not None:
+            self._lock_path.unlink(missing_ok=True)
+            self._lock_path = None
+
+    def writer_locks(self) -> "list[dict]":
+        """Live writer locks held by *other* writers in this namespace."""
+        return active_writer_locks(self.directory, exclude=self._lock_path)
+
+    def compact(self, index: "bool | None" = None, force: bool = False) -> int:
         """Merge every segment into one, dropping duplicate addresses.
 
-        Only safe while no other writer is active: concurrent writers
-        keep appending to unlinked segments and those entries are lost.
+        Only safe while no other writer is active — concurrent writers
+        keep appending to unlinked segments and those entries are lost —
+        so live writer locks (see :meth:`writer_locks`) make this fail
+        fast with :class:`WriterActiveError` unless ``force=True``.
         By default (``index=None`` → this cache's ``use_index``) a
         :class:`SqliteSegmentIndex` is rebuilt over the compacted
         segment so cold lookups become O(1) point reads instead of full
@@ -470,10 +549,19 @@ class PersistentGenerationCache(GenerationCache):
         """
         build_index = self.use_index if index is None else bool(index)
         with self._io_lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
-            self._segment_path = None
+            self._release_segment_locked()
+            active = self.writer_locks()
+            if active and not force:
+                holders = ", ".join(
+                    f"{Path(lock['path']).name} (pid {lock['pid']}, host "
+                    f"{lock['host']})"
+                    for lock in active
+                )
+                raise WriterActiveError(
+                    f"namespace {self.namespace!r} has {len(active)} active "
+                    f"writer(s): {holders}; compacting now would drop their "
+                    "in-flight entries — retry once they close, or force"
+                )
             if self._index is not None:
                 self._index.close()
                 self._index = None
@@ -596,6 +684,22 @@ class PersistentGenerationCache(GenerationCache):
                 self.directory.mkdir(parents=True, exist_ok=True)
                 name = f"w-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
                 self._segment_path = self.directory / name
+                # The writer lock: a sidecar marking this segment as
+                # actively appended, so compact() fails fast instead of
+                # silently dropping our in-flight entries. Removed when
+                # the segment is retired (close/clear/compact); a crash
+                # leaves it behind and the dead pid marks it stale.
+                self._lock_path = self.directory / f"{name}{LOCK_SUFFIX}"
+                self._lock_path.write_text(
+                    json.dumps(
+                        {
+                            "pid": os.getpid(),
+                            "host": socket.gethostname(),
+                            "segment": name,
+                        },
+                        sort_keys=True,
+                    )
+                )
                 self._handle = self._segment_path.open("a", encoding="utf8", newline="\n")
             self._handle.write(line)
             self._handle.flush()
@@ -697,5 +801,6 @@ def store_stats(
                 "kinds": dict(sorted(kinds.items())),
                 "indexed": indexed,
                 "index_entries": index_entries,
+                "active_writers": len(active_writer_locks(ns_dir)),
             }
     return {"cache_dir": str(cache_dir), "namespaces": namespaces}

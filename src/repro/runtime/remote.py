@@ -1,0 +1,691 @@
+"""Process-isolated generation backend with crash recovery.
+
+`SimulatorBackend` and `AsyncBatchedBackend` both execute generations
+inside the calling process: one worker crash (OOM, native-extension
+fault, operator SIGKILL) takes the whole sweep shard down with it, and a
+GIL-bound kernel caps throughput at one core no matter how many threads
+the scheduler runs. This module moves execution out of process:
+
+:class:`ProcessBackend` (the supervisor)
+    Spawns N worker subprocesses, each running :func:`worker_main` — a
+    request-serving loop over framed, length-prefixed IPC on the
+    worker's stdin/stdout pipes. The supervisor dispatches a batch
+    round-robin over the workers, a reader thread per worker routes
+    results back to the submitting callers, and worker lifecycle is
+    managed end to end: liveness is checked before every batch (plus an
+    explicit :meth:`ProcessBackend.ping` health check), a crashed
+    worker is restarted within a restart budget, and every request that
+    was in flight on a dead worker is requeued to a surviving worker.
+    Each request resolves exactly once — a kill can delay a generation
+    but never lose or duplicate one.
+
+Wire protocol
+-------------
+Frames are ``4-byte big-endian length + payload``; payloads are pickled
+message dicts tagged with ``"op"``::
+
+    supervisor -> worker: {"op": "init", "llm": TransparentLLM}
+    worker -> supervisor: {"op": "ready", "pid": ...}
+    supervisor -> worker: {"op": "generate", "id": n, "request": GenerationRequest}
+    worker -> supervisor: {"op": "result", "id": n, "trace": GenerationTrace}
+                          | {"op": "error", "id": n, "error": traceback str}
+    supervisor -> worker: {"op": "ping", "id": n}   -> {"op": "pong", "id": n}
+    supervisor -> worker: {"op": "shutdown"}        (or EOF on stdin)
+
+Pickle round-trips numpy arrays bit-exactly and traces are pure
+functions of their requests, so :class:`ProcessBackend` is byte-identical
+to :class:`~repro.runtime.service.SimulatorBackend` — the ``--backend
+process`` axis changes *where* a generation runs, never a single summary
+byte. ``identity()`` is the simulator identity tuple, so all three
+backends share one persistent-cache namespace.
+
+Workers write nothing to stdout except frames (diagnostics go to
+stderr, optionally captured per worker under ``log_dir``). The
+``REPRO_WORKER_CHAOS_DELAY_MS`` environment variable makes each worker
+sleep that long before every generation — a fault-injection knob used by
+the kill-recovery tests and the CI ``service-smoke`` job to hold a batch
+open long enough to crash a worker mid-flight.
+
+This is deliberately the seam future *remote* (multi-machine) backends
+plug into: the framing and message vocabulary carry no process-local
+state, so a socket transport can reuse them unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.llm.model import GenerationTrace, TransparentLLM
+from repro.runtime.service import FORCED, simulator_identity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.service import GenerationRequest
+
+__all__ = [
+    "CHAOS_DELAY_ENV",
+    "ProcessBackend",
+    "SupervisorStats",
+    "WorkerCrashError",
+    "WorkerError",
+    "read_frame",
+    "recv_message",
+    "send_message",
+    "worker_main",
+    "write_frame",
+]
+
+CHAOS_DELAY_ENV = "REPRO_WORKER_CHAOS_DELAY_MS"
+
+_HEADER = struct.Struct(">I")
+
+
+class WorkerError(RuntimeError):
+    """A worker computed a generation and raised; the traceback travels."""
+
+
+class WorkerCrashError(RuntimeError):
+    """Workers died faster than the restart budget could replace them."""
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def _read_exact(stream, n: int) -> "bytes | None":
+    """``n`` bytes from ``stream``, or None on EOF (torn reads included)."""
+    chunks = []
+    while n:
+        chunk = stream.read(n)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(stream, payload: bytes) -> None:
+    """One length-prefixed frame, flushed so the peer sees it now."""
+    stream.write(_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def read_frame(stream) -> "bytes | None":
+    """The next frame payload, or None on EOF / a torn partial frame.
+
+    A frame cut short by a dying peer is indistinguishable from EOF on
+    purpose: both mean "this channel is done", never a corrupt message.
+    """
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        return b""
+    return _read_exact(stream, length)
+
+
+def send_message(stream, message: dict) -> None:
+    write_frame(stream, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def recv_message(stream) -> "dict | None":
+    payload = read_frame(stream)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+# -- the worker loop ----------------------------------------------------------
+
+
+def worker_main(stdin=None, stdout=None) -> int:
+    """Serve generation requests over framed stdin/stdout until EOF.
+
+    The first frame is the init message carrying the pickled
+    :class:`TransparentLLM`; everything after is request/response.
+    Request-level failures are reported as ``error`` messages (the loop
+    keeps serving); only a broken channel or a shutdown message ends it.
+    """
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout.buffer
+    init = recv_message(stdin)
+    if init is None or init.get("op") != "init":
+        print("repro worker: no init message; exiting", file=sys.stderr)
+        return 1
+    llm = init["llm"]
+    chaos_delay = float(os.environ.get(CHAOS_DELAY_ENV, "0") or 0) / 1000.0
+    send_message(stdout, {"op": "ready", "pid": os.getpid()})
+    while True:
+        message = recv_message(stdin)
+        if message is None or message.get("op") == "shutdown":
+            return 0
+        if message["op"] == "ping":
+            send_message(stdout, {"op": "pong", "id": message["id"]})
+            continue
+        request = message["request"]
+        try:
+            if chaos_delay:
+                time.sleep(chaos_delay)
+            if request.kind == FORCED:
+                trace = llm.teacher_forced_trace(request.instance)
+            else:
+                trace = llm.generate(request.instance)
+        except Exception:
+            send_message(
+                stdout,
+                {"op": "error", "id": message["id"], "error": traceback.format_exc()},
+            )
+            continue
+        send_message(stdout, {"op": "result", "id": message["id"], "trace": trace})
+
+
+# -- the supervisor -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisorStats:
+    """Lifecycle bookkeeping for one :class:`ProcessBackend`."""
+
+    n_workers: int
+    n_alive: int
+    n_spawned: int
+    n_restarts: int
+    n_requeued: int
+    n_duplicate_results: int
+
+
+class _Pending:
+    """One dispatched request waiting for its result."""
+
+    __slots__ = ("request", "worker", "event", "value", "error")
+
+    def __init__(self, request):
+        self.request = request
+        self.worker: "_Worker | None" = None
+        self.event = threading.Event()
+        self.value = None
+        self.error: "BaseException | None" = None
+
+    def resolve(self, value=None, error=None) -> None:
+        self.value = value
+        self.error = error
+        self.event.set()
+
+
+class _Worker:
+    """A subprocess plus its write lock, reader thread and liveness flag."""
+
+    __slots__ = ("index", "proc", "log_handle", "write_lock", "ready", "dead", "reader")
+
+    def __init__(self, index: int, proc: subprocess.Popen, log_handle):
+        self.index = index
+        self.proc = proc
+        self.log_handle = log_handle
+        self.write_lock = threading.Lock()
+        self.ready = threading.Event()
+        self.dead = False  # guarded by the supervisor lock
+        self.reader: "threading.Thread | None" = None
+
+
+class ProcessBackend:
+    """Supervises N generation worker subprocesses over framed pipe IPC.
+
+    ``generate`` dispatches a batch round-robin across alive workers and
+    blocks until every request resolves. A worker that exits — crash,
+    OOM kill, operator SIGKILL — triggers recovery on its reader thread:
+    the worker is replaced (while ``max_restarts`` lasts) and all of its
+    in-flight requests are requeued to surviving workers, so a killed
+    worker delays results but never loses or duplicates one. When the
+    fleet cannot be kept alive, every stranded caller gets a
+    :class:`WorkerCrashError` instead of a hang.
+
+    Determinism: workers run the same ``TransparentLLM`` code as
+    :class:`~repro.runtime.service.SimulatorBackend` and pickle
+    round-trips traces bit-exactly, so results are byte-identical to the
+    in-process backends and ``identity()`` (the simulator identity
+    tuple) keeps the persistent-cache namespace shared across all of
+    them.
+    """
+
+    def __init__(
+        self,
+        llm: TransparentLLM,
+        workers: int = 2,
+        max_restarts: "int | None" = None,
+        startup_timeout_s: float = 60.0,
+        shutdown_timeout_s: float = 5.0,
+        log_dir: "str | Path | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_restarts is not None and max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.llm = llm
+        self.workers = int(workers)
+        self.max_restarts = 2 * self.workers if max_restarts is None else int(max_restarts)
+        self.startup_timeout_s = float(startup_timeout_s)
+        self.shutdown_timeout_s = float(shutdown_timeout_s)
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        self._lock = threading.RLock()
+        self._started = False
+        self._closing = False
+        self._fleet: "list[_Worker]" = []
+        self._pending: "dict[int, _Pending]" = {}
+        self._next_id = 0
+        self._next_worker_index = 0
+        self._rr = 0
+        self._n_spawned = 0
+        self._n_restarts = 0
+        self._n_requeued = 0
+        self._n_duplicate_results = 0
+        self._init_blob: "bytes | None" = None
+
+    # -- protocol surface ----------------------------------------------------
+
+    @property
+    def base_llm(self) -> TransparentLLM:
+        return self.llm
+
+    def identity(self) -> tuple:
+        # The shared simulator identity: process isolation must not move
+        # the persistent-cache namespace (see service.simulator_identity).
+        return simulator_identity(self.llm)
+
+    @property
+    def stats(self) -> SupervisorStats:
+        with self._lock:
+            return SupervisorStats(
+                n_workers=self.workers,
+                n_alive=len(self._alive()),
+                n_spawned=self._n_spawned,
+                n_restarts=self._n_restarts,
+                n_requeued=self._n_requeued,
+                n_duplicate_results=self._n_duplicate_results,
+            )
+
+    @property
+    def restarts(self) -> int:
+        return self._n_restarts
+
+    def worker_pids(self) -> "list[int]":
+        """PIDs of the alive workers (for health tooling and kill tests)."""
+        with self._lock:
+            return [worker.proc.pid for worker in self._alive()]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _alive(self) -> "list[_Worker]":  # caller holds self._lock
+        return [worker for worker in self._fleet if not worker.dead]
+
+    def _worker_env(self) -> dict:
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+        return env
+
+    def _spawn_worker(self) -> _Worker:  # caller holds self._lock
+        if self._init_blob is None:
+            self._init_blob = pickle.dumps(
+                {"op": "init", "llm": self.llm}, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        index = self._next_worker_index
+        self._next_worker_index += 1
+        log_handle = None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            log_handle = (self.log_dir / f"worker-{index}.log").open("ab")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.remote"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=log_handle,
+            env=self._worker_env(),
+        )
+        worker = _Worker(index, proc, log_handle)
+        worker.reader = threading.Thread(
+            target=self._read_loop,
+            args=(worker,),
+            name=f"generation-worker-reader-{index}",
+            daemon=True,
+        )
+        try:
+            with worker.write_lock:
+                try:
+                    write_frame(proc.stdin, self._init_blob)
+                except (OSError, ValueError) as exc:
+                    raise WorkerCrashError(
+                        f"worker {index} died during handshake (see "
+                        f"{self._log_path(worker)})"
+                    ) from exc
+            worker.reader.start()
+            deadline = time.monotonic() + self.startup_timeout_s
+            while not worker.ready.wait(0.05):
+                if worker.proc.poll() is not None:
+                    raise WorkerCrashError(
+                        f"worker {index} exited during startup (see "
+                        f"{self._log_path(worker)})"
+                    )
+                if time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        f"worker {index} not ready after "
+                        f"{self.startup_timeout_s}s (see {self._log_path(worker)})"
+                    )
+        except BaseException:
+            # A worker that never booted must not leak: mark it dead
+            # before killing so the reader's retirement pass no-ops,
+            # and never let it into the fleet (close() would otherwise
+            # join a never-started reader thread).
+            worker.dead = True
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+            if log_handle is not None:
+                log_handle.close()
+            raise
+        # Only a fully booted worker joins the fleet.
+        self._fleet.append(worker)
+        self._n_spawned += 1
+        return worker
+
+    def _log_path(self, worker: _Worker) -> str:
+        if self.log_dir is None:
+            return "worker stderr"
+        return str(self.log_dir / f"worker-{worker.index}.log")
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._closing = False
+            for _ in range(self.workers):
+                self._spawn_worker()
+            self._started = True
+
+    def check_health(self) -> int:
+        """Reap exited workers, replace them within budget; alive count.
+
+        Cheap (one ``poll()`` per worker), called before every batch so
+        a worker that died idle is replaced *before* requests are
+        dispatched at it.
+        """
+        with self._lock:
+            if not self._started:
+                return 0
+            for worker in list(self._fleet):
+                if not worker.dead and worker.proc.poll() is not None:
+                    self._retire_worker(worker)
+            if not self._closing:
+                try:
+                    self._replenish()
+                except Exception:
+                    # A replacement that won't boot must not fail a
+                    # batch the survivors could serve; with no survivor
+                    # either, dispatch fails each request cleanly.
+                    pass
+            return len(self._alive())
+
+    def _replenish(self) -> None:  # caller holds self._lock
+        """Restart-on-crash: refill the fleet while the budget lasts."""
+        while len(self._alive()) < self.workers and self._n_restarts < self.max_restarts:
+            self._n_restarts += 1
+            self._spawn_worker()
+
+    def ping(self, timeout_s: float = 10.0) -> "list[int]":
+        """Round-trip a ping through every alive worker; responsive PIDs."""
+        self._ensure_started()
+        self.check_health()
+        with self._lock:
+            fleet = list(self._alive())
+            entries = []
+            for worker in fleet:
+                pending = _Pending(request=None)
+                pending.worker = worker
+                request_id = self._next_id
+                self._next_id += 1
+                self._pending[request_id] = pending
+                entries.append((worker, request_id, pending))
+        responsive = []
+        for worker, request_id, pending in entries:
+            if not self._send(worker, {"op": "ping", "id": request_id}):
+                with self._lock:
+                    self._pending.pop(request_id, None)
+                continue
+            if pending.event.wait(timeout_s) and pending.error is None:
+                responsive.append(worker.proc.pid)
+            else:
+                with self._lock:
+                    self._pending.pop(request_id, None)
+        return responsive
+
+    def close(self) -> None:
+        """Shut the fleet down: graceful first, SIGKILL stragglers.
+
+        In-flight requests are failed with a :class:`WorkerCrashError`
+        rather than left to hang their submitters. The backend restarts
+        cleanly on the next ``generate`` call, like the async backend.
+        """
+        with self._lock:
+            if not self._started and not self._fleet:
+                # Not merely "not started": a partial startup failure
+                # can leave booted workers behind; tear those down too.
+                return
+            self._closing = True
+            fleet = list(self._fleet)
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for pending in stranded:
+            pending.resolve(error=WorkerCrashError("ProcessBackend closed"))
+        for worker in fleet:
+            with worker.write_lock:
+                try:
+                    send_message(worker.proc.stdin, {"op": "shutdown"})
+                    worker.proc.stdin.close()
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + self.shutdown_timeout_s
+        for worker in fleet:
+            try:
+                worker.proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                worker.proc.wait()
+            if worker.reader is not None:
+                worker.reader.join(timeout=5)
+            if worker.log_handle is not None:
+                worker.log_handle.close()
+        with self._lock:
+            self._fleet = []
+            self._started = False
+            self._closing = False
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def generate(
+        self, requests: "Sequence[GenerationRequest]"
+    ) -> "list[GenerationTrace]":
+        requests = list(requests)
+        if not requests:
+            return []
+        self._ensure_started()
+        self.check_health()
+        entries = [self._submit(request) for request in requests]
+        results = []
+        for entry in entries:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            results.append(entry.value)
+        return results
+
+    def _submit(self, request) -> _Pending:
+        pending = _Pending(request)
+        self._dispatch(pending)
+        return pending
+
+    def _dispatch(self, pending: _Pending) -> None:
+        """Assign ``pending`` to an alive worker and send it (or fail it)."""
+        while True:
+            with self._lock:
+                if self._closing:
+                    pending.resolve(error=WorkerCrashError("ProcessBackend closed"))
+                    return
+                fleet = self._alive()
+                if not fleet:
+                    try:
+                        fleet = [self._replace_worker()]
+                    except WorkerCrashError as exc:
+                        pending.resolve(error=exc)
+                        return
+                worker = fleet[self._rr % len(fleet)]
+                self._rr += 1
+                pending.worker = worker
+                request_id = self._next_id
+                self._next_id += 1
+                self._pending[request_id] = pending
+            if self._send(
+                worker, {"op": "generate", "id": request_id, "request": pending.request}
+            ):
+                return
+            # The pipe broke under us: recovery requeues everything that
+            # was assigned to this worker — including this request,
+            # unless a racing recovery pass already moved it elsewhere.
+            self._retire_worker(worker)
+            with self._lock:
+                if pending.worker is not worker or pending.event.is_set():
+                    return  # someone else already re-dispatched or failed it
+
+    def _send(self, worker: _Worker, message: dict) -> bool:
+        with worker.write_lock:
+            try:
+                send_message(worker.proc.stdin, message)
+                return True
+            except (OSError, ValueError):
+                return False
+
+    def _replace_worker(self) -> _Worker:  # caller holds self._lock
+        if self._n_restarts >= self.max_restarts:
+            raise WorkerCrashError(
+                f"workers kept dying: restart budget ({self.max_restarts}) exhausted"
+            )
+        self._n_restarts += 1
+        return self._spawn_worker()
+
+    # -- the reader threads --------------------------------------------------
+
+    def _read_loop(self, worker: _Worker) -> None:
+        stream = worker.proc.stdout
+        while True:
+            try:
+                message = recv_message(stream)
+            except Exception:  # torn pickle == dying worker
+                message = None
+            if message is None:
+                break
+            op = message.get("op")
+            if op == "ready":
+                worker.ready.set()
+            elif op in ("result", "error", "pong"):
+                self._resolve(message)
+        self._retire_worker(worker)
+
+    def _resolve(self, message: dict) -> None:
+        with self._lock:
+            pending = self._pending.pop(message["id"], None)
+            if pending is None:
+                if message["op"] != "pong":
+                    # A requeued request answered twice (the original
+                    # worker turned out to be alive after a torn
+                    # write). The first resolution won; identical by
+                    # purity, dropped by design. Late pongs after a
+                    # ping timeout are just slow workers, not dups.
+                    self._n_duplicate_results += 1
+                return
+        if message["op"] == "error":
+            pending.resolve(error=WorkerError(message["error"]))
+        elif message["op"] == "pong":
+            pending.resolve(value=True)
+        else:
+            pending.resolve(value=message["trace"])
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _retire_worker(self, worker: _Worker) -> None:
+        """Mark a worker dead and requeue its in-flight requests.
+
+        Runs on reader threads, dispatchers that hit a broken pipe and
+        ``check_health`` — idempotent under the supervisor lock, so the
+        racing paths agree on exactly one recovery pass.
+        """
+        with self._lock:
+            if worker.dead:
+                return
+            worker.dead = True
+            closing = self._closing
+            orphaned = [
+                (request_id, pending)
+                for request_id, pending in self._pending.items()
+                if pending.worker is worker
+            ]
+            for request_id, _pending in orphaned:
+                del self._pending[request_id]
+            self._n_requeued += len(orphaned)
+            if not closing:
+                try:
+                    self._replenish()
+                except Exception:
+                    # A replacement that won't boot must not strand the
+                    # orphans: dispatch below still tries the survivors
+                    # (and fails each request cleanly if none remain).
+                    pass
+        if worker.proc.poll() is None:  # broken pipe but still running
+            worker.proc.kill()
+        for _request_id, pending in orphaned:
+            if closing or pending.request is None:  # pings don't requeue
+                pending.resolve(error=WorkerCrashError("worker died"))
+                continue
+            # Claim the orphan before requeueing: a dispatcher whose
+            # write broke may be racing this same recovery pass, and an
+            # unguarded double-dispatch would run the generation twice
+            # and resolve the pending twice. Whoever flips
+            # pending.worker under the lock first owns the re-dispatch.
+            with self._lock:
+                if pending.worker is not worker or pending.event.is_set():
+                    continue  # the racing dispatcher already moved it
+                pending.worker = None
+            self._dispatch(pending)
+
+    # Pickled as configuration only, like the async backend: a clone in
+    # another process spawns its own fleet on first use.
+    def __getstate__(self) -> dict:
+        return {
+            "llm": self.llm,
+            "workers": self.workers,
+            "max_restarts": self.max_restarts,
+            "startup_timeout_s": self.startup_timeout_s,
+            "shutdown_timeout_s": self.shutdown_timeout_s,
+            "log_dir": str(self.log_dir) if self.log_dir is not None else None,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
+
+if __name__ == "__main__":  # pragma: no cover - the worker entry point
+    sys.exit(worker_main())

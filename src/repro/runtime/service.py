@@ -41,6 +41,12 @@ Two implementations ship here:
   Results resolve per-request futures, so every caller sees its own
   results in submission order no matter how requests were batched.
 
+A third lives in :mod:`repro.runtime.remote` (imported lazily to keep
+this module subprocess-free): :class:`~repro.runtime.remote.
+ProcessBackend`, a supervisor fanning batches over worker subprocesses
+via framed pipe IPC, with health checks, restart-on-crash and in-flight
+requeue — ``gen_backend="process"`` on :meth:`GenerationService.build`.
+
 On top sits :class:`GenerationService`: lookups fall through a tier
 stack — L1 in-memory memo table → L2 on-disk JSONL segment scan →
 L3 compacted SQLite index (O(1) cold lookups over large stores, see
@@ -75,6 +81,7 @@ __all__ = [
     "FORCED",
     "SIMULATOR",
     "ASYNC",
+    "PROCESS",
     "GEN_BACKENDS",
     "MEMORY_TIER",
     "SEGMENT_TIER",
@@ -85,6 +92,7 @@ __all__ = [
     "AsyncBatchedBackend",
     "MicrobatchStats",
     "GenerationService",
+    "simulator_identity",
 ]
 
 FREE = "free"
@@ -93,11 +101,25 @@ KINDS = (FREE, FORCED)
 
 SIMULATOR = "simulator"
 ASYNC = "async"
-GEN_BACKENDS = (SIMULATOR, ASYNC)
+PROCESS = "process"
+GEN_BACKENDS = (SIMULATOR, ASYNC, PROCESS)
 
 MEMORY_TIER = "memory"
 SEGMENT_TIER = "segments"
 SQLITE_TIER = "sqlite"
+
+
+def simulator_identity(llm: "TransparentLLM") -> tuple:
+    """The canonical backend identity for one simulated LLM.
+
+    Every backend that executes generations *with this llm's bits* —
+    in-process, async-batched, worker subprocesses — must return exactly
+    this tuple from ``identity()``, or its persistent-cache namespace
+    silently splits from the others and warm stores stop being shared.
+    The simulator version participates because a bit-level synthesis
+    change (e.g. ``hidden-v2``) must land in a fresh namespace.
+    """
+    return (getattr(llm, "version", SIMULATOR_VERSION), llm.config, llm.seed)
 
 
 @dataclass(frozen=True)
@@ -150,13 +172,7 @@ class SimulatorBackend:
         return self.llm
 
     def identity(self) -> tuple:
-        # The simulator version pins the bit-level trace scheme: a
-        # synthesis change (hidden-v2) must land in a fresh namespace.
-        return (
-            getattr(self.llm, "version", SIMULATOR_VERSION),
-            self.llm.config,
-            self.llm.seed,
-        )
+        return simulator_identity(self.llm)
 
     def _one(self, request: GenerationRequest) -> GenerationTrace:
         if request.kind == FORCED:
@@ -298,12 +314,31 @@ class AsyncBatchedBackend:
             self._started = True
 
     def close(self) -> None:
-        """Stop the scheduler thread (only with no calls in flight)."""
+        """Stop the scheduler thread without stranding any submitter.
+
+        Close is safe whenever: queued-but-unbatched requests get their
+        futures cancelled (the submitter's handle raises
+        ``CancelledError`` instead of blocking forever), in-flight
+        batches are awaited so their futures resolve normally (or with
+        the backend's exception), and anything racing into the queue
+        during shutdown is swept up by the loop-teardown cancellation.
+        """
         with self._lock:
             if not self._started:
                 return
             loop = self._loop
-            loop.call_soon_threadsafe(loop.stop)
+            try:
+                # Graceful phase on the loop thread: stop batching,
+                # cancel the queued futures, let running batches finish.
+                asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(
+                    timeout=10
+                )
+            except (TimeoutError, RuntimeError):  # wedged loop: hard-stop below
+                pass
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:  # already closed by a crashed loop thread
+                pass
             self._thread.join(timeout=10)
             self._started = False
             self._loop = None
@@ -312,6 +347,24 @@ class AsyncBatchedBackend:
             self._semaphore = None
             self._scheduler_task = None
             self._batch_tasks = set()
+
+    async def _shutdown(self) -> None:
+        """Graceful teardown, on the loop thread (see :meth:`close`)."""
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            await asyncio.gather(self._scheduler_task, return_exceptions=True)
+        # Queued-but-unbatched submissions: no batch will ever run them.
+        while True:
+            try:
+                _request, future = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not future.done():
+                future.cancel()
+        # In-flight batches resolve their own futures (result or error);
+        # awaiting them here is what un-hangs close-during-a-batch.
+        if self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
 
     def __enter__(self) -> "AsyncBatchedBackend":
         return self
@@ -467,13 +520,16 @@ class GenerationService:
         max_pending: int = 256,
         workers: int = 4,
         use_index: bool = True,
+        worker_log_dir=None,
     ) -> "GenerationService":
         """Wire a service for ``llm``: backend choice plus cache tiers.
 
         ``cache`` wins over ``cache_dir``; with ``cache_dir`` alone a
         :class:`PersistentGenerationCache` is created in the namespace
-        derived from the backend's ``identity()`` — so the simulator and
-        async backends (same identity) share one store.
+        derived from the backend's ``identity()`` — so the simulator,
+        async and process backends (same identity) share one store.
+        ``worker_log_dir`` captures per-worker stderr for the process
+        backend (ignored by the in-process backends).
         """
         if gen_backend not in GEN_BACKENDS:
             raise ValueError(
@@ -490,6 +546,11 @@ class GenerationService:
                 max_pending=max_pending,
                 workers=workers,
             )
+        elif gen_backend == PROCESS:
+            # Lazy import: remote builds on this module's request types.
+            from repro.runtime.remote import ProcessBackend
+
+            backend = ProcessBackend(llm, workers=workers, log_dir=worker_log_dir)
         else:
             backend = SimulatorBackend(llm, pool=pool)
         if cache is None and cache_dir is not None:
@@ -530,6 +591,12 @@ class GenerationService:
         cache_closer = getattr(self.cache, "close", None)
         if callable(cache_closer):
             cache_closer()
+
+    def __enter__(self) -> "GenerationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- generation ----------------------------------------------------------
 

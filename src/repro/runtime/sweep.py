@@ -186,8 +186,9 @@ class SweepRunner:
     One :class:`~repro.experiments.common.ExperimentContext` is built
     per RTS seed (pipelines must be refit per seed), but all contexts
     share a single :class:`~repro.runtime.service.GenerationService`
-    instance — one backend (``gen_backend`` picks ``simulator`` or the
-    microbatching ``async`` scheduler) over one cache tier stack: with
+    instance — one backend (``gen_backend`` picks ``simulator``, the
+    microbatching ``async`` scheduler, or ``process`` worker
+    subprocesses) over one cache tier stack: with
     ``cache_dir`` set, a :class:`PersistentGenerationCache` namespaced
     by the spec's LLM identity, so separate shard processes reuse each
     other's generations through the filesystem.
@@ -208,6 +209,7 @@ class SweepRunner:
         gen_backend: str = SIMULATOR,
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
+        worker_log_dir: "str | Path | None" = None,
         progress=None,
     ):
         self.spec = spec
@@ -218,6 +220,7 @@ class SweepRunner:
         self.gen_backend = gen_backend
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.worker_log_dir = worker_log_dir
         self.progress = progress
         self._contexts: dict = {}
         self._cache: "GenerationCache | None" = None
@@ -250,6 +253,7 @@ class SweepRunner:
                 gen_backend=self.gen_backend,
                 max_batch=self.max_batch,
                 max_wait_ms=self.max_wait_ms,
+                worker_log_dir=self.worker_log_dir,
                 service=self._service,
             )
             if self._service is None:
@@ -261,6 +265,20 @@ class SweepRunner:
                 self._cache = ctx.llm.cache
             self._contexts[seed] = ctx
         return self._contexts[seed]
+
+    def close(self) -> None:
+        """Release the shared service (scheduler threads, worker
+        subprocesses, store handles) — safe before the first unit and
+        from ``finally`` blocks; the CLIs and :func:`run_sweep` route
+        every exit path (success or error) through here."""
+        if self._service is not None:
+            self._service.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def unit_artifact(self, unit: SweepUnit) -> Path:
         return self.out_dir / "units" / f"{unit.unit_id}.jsonl"
@@ -378,19 +396,15 @@ def run_sweep(
     for shard_index in range(shard_count):
         # One runner per shard: cold contexts, exactly like separate
         # processes would run it (the persistent cache still warms up).
-        runner = SweepRunner(
+        with SweepRunner(
             spec,
             out_dir,
             cache_dir=cache_dir,
             workers=workers,
             pool=pool,
             gen_backend=gen_backend,
-        )
-        try:
+        ) as runner:
             runner.run_shard(shard_index, shard_count)
-        finally:
-            if runner.service is not None:
-                runner.service.close()
     return merge_sweep(out_dir)
 
 

@@ -1,0 +1,363 @@
+"""Tests for the process-isolated generation backend.
+
+Pins down the tentpole guarantees:
+
+* the wire protocol round-trips frames and messages exactly (EOF and
+  torn frames read as channel death, never as corrupt messages);
+* `worker_main` serves init/generate/ping/shutdown over framed streams
+  and reports request-level failures without dying;
+* `ProcessBackend` traces are bit-identical to `SimulatorBackend`'s,
+  its `identity()` keeps the persistent-cache namespace shared across
+  the whole backend axis, and `--backend process` summaries are
+  byte-identical through the CLI;
+* crash recovery: a worker SIGKILLed mid-batch is restarted, its
+  in-flight requests are requeued to a surviving worker, and the batch
+  completes with zero lost or duplicated generations — while an
+  exhausted restart budget fails the stranded callers loudly instead of
+  hanging them;
+* lifecycle: close() terminates the fleet (no worker outlives the
+  backend), the backend restarts cleanly afterwards, and it pickles as
+  configuration only.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from helpers import assert_traces_equal
+
+from repro.core.pipeline import RTSPipeline
+from repro.llm.model import SIMULATOR_VERSION, TransparentLLM
+from repro.runtime.remote import (
+    CHAOS_DELAY_ENV,
+    ProcessBackend,
+    WorkerCrashError,
+    read_frame,
+    recv_message,
+    send_message,
+    worker_main,
+    write_frame,
+)
+from repro.runtime.service import (
+    FORCED,
+    FREE,
+    GenerationRequest,
+    GenerationService,
+    SimulatorBackend,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def table_instances(bird_tiny):
+    return [
+        RTSPipeline.instance_for(e, bird_tiny, "table") for e in bird_tiny.dev.examples
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_traces(table_instances):
+    requests = mixed_requests(table_instances)
+    return requests, SimulatorBackend(TransparentLLM(seed=11)).generate(requests)
+
+
+def mixed_requests(instances) -> list:
+    return [GenerationRequest(FREE, i) for i in instances] + [
+        GenerationRequest(FORCED, i) for i in instances
+    ]
+
+
+def wait_for_exit(pid: int, timeout_s: float = 10.0) -> bool:
+    """True once ``pid`` no longer exists (reaped subprocess)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def test_frame_roundtrip_including_empty_payload():
+    stream = io.BytesIO()
+    write_frame(stream, b"hello")
+    write_frame(stream, b"")
+    write_frame(stream, b"\x00" * 1000)
+    stream.seek(0)
+    assert read_frame(stream) == b"hello"
+    assert read_frame(stream) == b""
+    assert read_frame(stream) == b"\x00" * 1000
+    assert read_frame(stream) is None  # EOF
+
+
+def test_torn_frame_reads_as_eof():
+    stream = io.BytesIO()
+    write_frame(stream, b"complete")
+    payload = stream.getvalue()
+    for cut in (len(payload) - 1, len(payload) - 5, 2):
+        assert read_frame(io.BytesIO(payload[:cut])) is None
+    assert read_frame(io.BytesIO(b"")) is None
+
+
+def test_message_roundtrip():
+    stream = io.BytesIO()
+    send_message(stream, {"op": "ping", "id": 7})
+    stream.seek(0)
+    assert recv_message(stream) == {"op": "ping", "id": 7}
+    assert recv_message(stream) is None
+
+
+# -- the worker loop, in process ----------------------------------------------
+
+
+def test_worker_main_serves_generate_ping_shutdown(table_instances):
+    instance = table_instances[0]
+    stdin = io.BytesIO()
+    send_message(stdin, {"op": "init", "llm": TransparentLLM(seed=11)})
+    send_message(
+        stdin, {"op": "generate", "id": 0, "request": GenerationRequest(FREE, instance)}
+    )
+    send_message(stdin, {"op": "ping", "id": 1})
+    send_message(
+        stdin,
+        {"op": "generate", "id": 2, "request": GenerationRequest(FORCED, instance)},
+    )
+    send_message(stdin, {"op": "shutdown"})
+    stdin.seek(0)
+    stdout = io.BytesIO()
+    assert worker_main(stdin, stdout) == 0
+    stdout.seek(0)
+    ready = recv_message(stdout)
+    assert ready["op"] == "ready" and ready["pid"] == os.getpid()
+    llm = TransparentLLM(seed=11)
+    first = recv_message(stdout)
+    assert first["op"] == "result" and first["id"] == 0
+    assert_traces_equal(first["trace"], llm.generate(instance))
+    assert recv_message(stdout) == {"op": "pong", "id": 1}
+    second = recv_message(stdout)
+    assert second["op"] == "result" and second["id"] == 2
+    assert_traces_equal(second["trace"], llm.teacher_forced_trace(instance))
+    assert recv_message(stdout) is None
+
+
+def test_worker_main_reports_request_errors_and_keeps_serving(table_instances):
+    # A request whose instance is None: the worker-side generate raises
+    # (kind validation passes — only the simulator call explodes).
+    stdin = io.BytesIO()
+    send_message(stdin, {"op": "init", "llm": TransparentLLM(seed=11)})
+    send_message(
+        stdin, {"op": "generate", "id": 0, "request": GenerationRequest(FREE, None)}
+    )
+    send_message(stdin, {"op": "ping", "id": 1})
+    stdin.seek(0)
+    stdout = io.BytesIO()
+    assert worker_main(stdin, stdout) == 0  # EOF after ping: clean exit
+    stdout.seek(0)
+    assert recv_message(stdout)["op"] == "ready"
+    error = recv_message(stdout)
+    assert error["op"] == "error" and error["id"] == 0
+    assert "Traceback" in error["error"]
+    assert recv_message(stdout) == {"op": "pong", "id": 1}
+
+
+def test_worker_main_without_init_exits_nonzero():
+    assert worker_main(io.BytesIO(), io.BytesIO()) == 1
+
+
+# -- byte-identity with the in-process backends -------------------------------
+
+
+def test_process_backend_bit_identical_to_simulator(reference_traces):
+    requests, reference = reference_traces
+    with ProcessBackend(TransparentLLM(seed=11), workers=2) as backend:
+        traces = backend.generate(requests)
+    assert len(traces) == len(reference)
+    for a, b in zip(reference, traces):
+        assert_traces_equal(a, b)
+
+
+def test_process_backend_identity_is_the_simulator_identity():
+    llm = TransparentLLM(seed=11)
+    backend = ProcessBackend(llm)
+    assert backend.identity() == SimulatorBackend(llm).identity()
+    assert backend.identity()[0] == SIMULATOR_VERSION
+
+
+def test_process_backend_shares_the_persistent_namespace(tmp_path, table_instances):
+    """A store warmed by the simulator serves the process backend fully."""
+    instances = table_instances[:3]
+    writer = GenerationService.build(TransparentLLM(seed=11), cache_dir=tmp_path)
+    cold = writer.free_traces(instances)
+    writer.close()
+
+    reader = GenerationService.build(
+        TransparentLLM(seed=11), gen_backend="process", cache_dir=tmp_path, workers=1
+    )
+    with reader:
+        warm = reader.free_traces(instances)
+        assert reader.stats.misses == 0  # every trace came from the store
+        assert reader.namespace() == writer.namespace()
+    for a, b in zip(cold, warm):
+        assert_traces_equal(a, b)
+
+
+def test_process_backend_validates_config():
+    llm = TransparentLLM(seed=11)
+    with pytest.raises(ValueError):
+        ProcessBackend(llm, workers=0)
+    with pytest.raises(ValueError):
+        ProcessBackend(llm, max_restarts=-1)
+
+
+# -- crash recovery -----------------------------------------------------------
+
+
+def test_sigkill_one_worker_mid_batch_loses_nothing(reference_traces, monkeypatch):
+    """The acceptance bug: a killed worker must not lose or duplicate
+    a generation — its in-flight requests requeue to a survivor, a
+    replacement spawns, and the batch completes bit-identically."""
+    requests, reference = reference_traces
+    # Slow each generation down so the kill reliably lands mid-batch.
+    monkeypatch.setenv(CHAOS_DELAY_ENV, "40")
+    with ProcessBackend(TransparentLLM(seed=11), workers=2) as backend:
+        assert len(backend.ping()) == 2
+        victim = backend.worker_pids()[0]
+        timer = threading.Timer(0.2, os.kill, (victim, signal.SIGKILL))
+        timer.start()
+        try:
+            traces = backend.generate(requests)
+        finally:
+            timer.cancel()
+        stats = backend.stats
+    assert len(traces) == len(requests)  # nothing lost
+    for a, b in zip(reference, traces):
+        assert_traces_equal(a, b)  # nothing duplicated or reordered
+    assert stats.n_restarts >= 1  # the victim was replaced
+    assert stats.n_requeued >= 1  # its in-flight work moved to a survivor
+    assert stats.n_duplicate_results == 0  # each request resolved once
+    assert wait_for_exit(victim)
+
+
+def test_exhausted_restart_budget_fails_loudly(table_instances, monkeypatch):
+    monkeypatch.setenv(CHAOS_DELAY_ENV, "200")
+    backend = ProcessBackend(TransparentLLM(seed=11), workers=1, max_restarts=0)
+    try:
+        (pid,) = backend.ping()
+        timer = threading.Timer(0.05, os.kill, (pid, signal.SIGKILL))
+        timer.start()
+        with pytest.raises(WorkerCrashError, match="restart budget|worker"):
+            backend.generate(mixed_requests(table_instances))
+        timer.cancel()
+    finally:
+        backend.close()
+
+
+def test_check_health_replaces_an_idle_dead_worker():
+    with ProcessBackend(TransparentLLM(seed=11), workers=2) as backend:
+        pids = backend.ping()
+        assert len(pids) == 2
+        os.kill(pids[0], signal.SIGKILL)
+        assert wait_for_exit(pids[0])
+        assert backend.check_health() == 2  # reaped and replenished
+        fresh = backend.ping()
+        assert len(fresh) == 2 and pids[0] not in fresh
+        assert backend.restarts == 1
+
+
+def test_worker_error_propagates_with_traceback(table_instances):
+    """A request-level failure raises WorkerError; the fleet survives."""
+    from repro.runtime.remote import WorkerError
+
+    good = table_instances[0]
+    with ProcessBackend(TransparentLLM(seed=11), workers=1) as backend:
+        with pytest.raises(WorkerError, match="Traceback"):
+            backend.generate([GenerationRequest(FREE, None)])
+        # Same worker keeps serving afterwards.
+        traces = backend.generate([GenerationRequest(FREE, good)])
+        assert_traces_equal(traces[0], TransparentLLM(seed=11).generate(good))
+        assert backend.restarts == 0
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_close_terminates_the_fleet_and_backend_restarts_cleanly(table_instances):
+    backend = ProcessBackend(TransparentLLM(seed=11), workers=2)
+    request = GenerationRequest(FREE, table_instances[0])
+    first = backend.generate([request])[0]
+    pids = backend.worker_pids()
+    assert len(pids) == 2
+    backend.close()
+    for pid in pids:
+        assert wait_for_exit(pid), f"worker {pid} outlived close()"
+    # Reusable after close, like the async backend.
+    second = backend.generate([request])[0]
+    backend.close()
+    assert_traces_equal(first, second)
+
+
+def test_close_is_idempotent_and_safe_before_start():
+    backend = ProcessBackend(TransparentLLM(seed=11))
+    backend.close()
+    backend.close()
+    assert backend.worker_pids() == []
+    assert backend.generate([]) == []  # empty batch never spawns workers
+    assert backend.stats.n_spawned == 0
+
+
+def test_worker_logs_are_captured_per_worker(tmp_path, table_instances):
+    log_dir = tmp_path / "worker-logs"
+    with ProcessBackend(TransparentLLM(seed=11), workers=2, log_dir=log_dir) as backend:
+        backend.generate([GenerationRequest(FREE, table_instances[0])])
+    logs = sorted(p.name for p in log_dir.glob("worker-*.log"))
+    assert logs == ["worker-0.log", "worker-1.log"]
+
+
+def test_process_backend_pickles_as_configuration(table_instances):
+    import pickle
+
+    backend = ProcessBackend(TransparentLLM(seed=11), workers=1)
+    request = GenerationRequest(FREE, table_instances[0])
+    with backend:
+        trace = backend.generate([request])[0]
+        clone = pickle.loads(pickle.dumps(backend))
+    assert clone.worker_pids() == []  # config only: no inherited fleet
+    with clone:
+        assert_traces_equal(clone.generate([request])[0], trace)
+
+
+# -- CLI byte-identity --------------------------------------------------------
+
+
+def test_run_cli_process_backend_matches_simulator_summary(tmp_path, capsys, monkeypatch):
+    from repro.runtime.cli import main
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    args = [
+        "--benchmark", "bird",
+        "--split", "dev",
+        "--task", "table",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--workers", "2",
+    ]
+    assert main([*args, "--backend", "simulator"]) == 0
+    simulator = json.loads(capsys.readouterr().out)
+    log_dir = tmp_path / "worker-logs"
+    assert main([*args, "--backend", "process", "--worker-log-dir", str(log_dir)]) == 0
+    process = json.loads(capsys.readouterr().out)
+    assert process["backend"] == "process"
+    assert simulator["summary"] == process["summary"]
+    assert sorted(log_dir.glob("worker-*.log"))  # logs captured via the CLI

@@ -251,6 +251,122 @@ def test_artifact_tolerates_corrupt_tail(tmp_path):
     assert path.read_text() == good + "\n"
 
 
+# -- resume hardening: CRLF mangling + hard-kill truncation, every kind -------
+#
+# The \r\n hazard noted in artifacts.py: load_records must count exact
+# *byte* offsets, or truncating back to "the last complete record" on a
+# CRLF-mangled file (a checkout or editor rewrote line endings) cuts
+# into a valid record and corrupts the checkpoint it resumes from.
+
+
+def crlf_mangle(path) -> None:
+    path.write_bytes(path.read_bytes().replace(b"\n", b"\r\n"))
+
+
+def test_load_records_on_a_crlf_mangled_artifact(tmp_path):
+    path = tmp_path / "crlf.jsonl"
+    artifact = RunArtifact(str(path))
+    for key in ("a", "b", "c"):
+        artifact.append({"key": key, "x": key * 2})
+    artifact.close()
+    crlf_mangle(path)
+    size = path.stat().st_size
+    records = RunArtifact(str(path)).load_records()
+    assert list(records) == ["a", "b", "c"]
+    assert path.stat().st_size == size  # complete file: nothing truncated
+
+
+def test_crlf_artifact_with_truncated_tail_resumes_cleanly(tmp_path):
+    """Byte-exact truncation on a CRLF file must never cut a valid record."""
+    path = tmp_path / "crlf-tail.jsonl"
+    artifact = RunArtifact(str(path))
+    for key in ("a", "b", "c"):
+        artifact.append({"key": key, "x": key * 2})
+    artifact.close()
+    crlf_mangle(path)
+    mangled = path.read_bytes()
+    # Hard kill mid-append: the final record loses its terminator.
+    path.write_bytes(mangled[:-3])
+    artifact = RunArtifact(str(path))
+    assert list(artifact.load_records()) == ["a", "b"]
+    # Truncated exactly back to the end of record "b" — with its \r\n
+    # intact, so the next append starts on a fresh line.
+    kept = path.read_bytes()
+    assert kept == mangled[: len(kept)]
+    assert kept.endswith(b'"b"}\r\n'[-2:])
+    artifact.append({"key": "c2", "x": "cc"})
+    artifact.close()
+    assert list(RunArtifact(str(path)).load_records()) == ["a", "b", "c2"]
+
+
+@pytest.mark.parametrize("cut", [1, 2, 5, 11])
+def test_every_truncation_point_keeps_a_loadable_prefix(tmp_path, cut):
+    """Whatever byte a hard kill lands on, resume sees only complete
+    records and the file is rewound to a clean append point."""
+    path = tmp_path / "cut.jsonl"
+    artifact = RunArtifact(str(path))
+    for key in ("a", "b"):
+        artifact.append({"key": key, "x": key * 3})
+    artifact.close()
+    whole = path.read_bytes()
+    path.write_bytes(whole[: len(whole) - cut])
+    records = RunArtifact(str(path)).load_records()
+    assert list(records) in (["a"], ["a", "b"])
+    remaining = path.read_bytes()
+    assert whole.startswith(remaining)
+    assert remaining == b"" or remaining.endswith(b"\n")
+
+
+def test_link_and_joint_records_survive_truncated_tails(
+    caching_pipeline, bird_tiny, dev_instances, tmp_path
+):
+    """The hard-kill tolerance holds for every record kind the runner
+    writes — link sweeps and joint table->column runs alike."""
+    examples = bird_tiny.dev.examples
+    runs = {
+        "link": lambda art: BatchRunner(caching_pipeline, artifact=art).run_link(
+            dev_instances
+        ),
+        "joint": lambda art: BatchRunner(caching_pipeline, artifact=art).run_joint(
+            examples, bird_tiny, mode="abstain"
+        ),
+    }
+    for kind, run in runs.items():
+        path = tmp_path / f"{kind}.jsonl"
+        full = run(str(path))
+        pristine = path.read_bytes()
+        n_records = len(pristine.strip().splitlines())
+        # Hard kill: the last record is torn mid-line.
+        path.write_bytes(pristine[: len(pristine) - 7])
+        resumed = run(str(path))
+        assert resumed.n_resumed == n_records - 1, kind
+        assert resumed.n_evaluated == 1, kind
+        assert json.dumps(resumed.summary, sort_keys=True) == json.dumps(
+            full.summary, sort_keys=True
+        ), kind
+        assert path.read_bytes() == pristine, kind  # byte-identical rebuild
+
+
+def test_joint_artifact_crlf_resume(caching_pipeline, bird_tiny, tmp_path):
+    """CRLF mangling + truncation on joint records resumes bit-exactly."""
+    examples = bird_tiny.dev.examples
+    path = tmp_path / "joint-crlf.jsonl"
+    full = BatchRunner(caching_pipeline, artifact=str(path)).run_joint(
+        examples, bird_tiny, mode="abstain"
+    )
+    crlf_mangle(path)
+    mangled = path.read_bytes()
+    path.write_bytes(mangled[:-4])  # tear the final record
+    resumed = BatchRunner(caching_pipeline, artifact=str(path)).run_joint(
+        examples, bird_tiny, mode="abstain"
+    )
+    assert resumed.n_resumed == len(examples) - 1
+    assert resumed.n_evaluated == 1
+    assert json.dumps(resumed.summary, sort_keys=True) == json.dumps(
+        full.summary, sort_keys=True
+    )
+
+
 def test_summarize_link_counts(caching_pipeline, dev_instances):
     outcomes = [caching_pipeline.link(i) for i in dev_instances]
     summary = summarize_link(outcomes)

@@ -249,6 +249,79 @@ def test_async_backend_propagates_backend_errors(table_instances):
         assert backend.generate([GenerationRequest(FREE, table_instances[0])])
 
 
+class SlowBackend:
+    """A backend that takes its time — for close-while-in-flight tests."""
+
+    def __init__(self, inner, delay_s: float = 0.2):
+        self.inner = inner
+        self.delay_s = delay_s
+
+    @property
+    def base_llm(self):
+        return self.inner.base_llm
+
+    def identity(self):
+        return self.inner.identity()
+
+    def generate(self, requests):
+        import time
+
+        time.sleep(self.delay_s)
+        return self.inner.generate(requests)
+
+
+def test_async_backend_close_after_backend_exception_does_not_hang(table_instances):
+    """The lifecycle bug: close() with poisoned state must neither hang
+    the closer nor any submitter that raced in."""
+    backend = AsyncBatchedBackend(ExplodingBackend(), max_wait_ms=1.0)
+    with pytest.raises(RuntimeError, match="backend exploded"):
+        backend.generate([GenerationRequest(FREE, table_instances[0])])
+    closer = threading.Thread(target=backend.close)
+    closer.start()
+    closer.join(timeout=15)
+    assert not closer.is_alive(), "close() hung after a backend exception"
+
+
+def test_async_backend_close_while_batch_in_flight_resolves_submitters(
+    table_instances,
+):
+    """Submitters pending at close() time get a result or a cancellation
+    — never a deadlock."""
+    import asyncio
+    import concurrent.futures
+    import time
+
+    backend = AsyncBatchedBackend(
+        SlowBackend(SimulatorBackend(TransparentLLM(seed=11)), delay_s=0.3),
+        max_batch=2,
+        max_wait_ms=1.0,
+        max_pending=2,
+        workers=1,
+    )
+    outcomes: list = []
+
+    def submit(instance):
+        try:
+            outcomes.append(backend.generate([GenerationRequest(FREE, instance)]))
+        except (concurrent.futures.CancelledError, asyncio.CancelledError) as exc:
+            outcomes.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(instance,))
+        for instance in table_instances[:6]
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.1)  # let a batch get in flight, leave others queued
+    backend.close()
+    for thread in threads:
+        thread.join(timeout=15)
+    assert not any(thread.is_alive() for thread in threads), (
+        "close() stranded pending submitters"
+    )
+    assert len(outcomes) == 6  # every submitter resolved, one way or the other
+
+
 def test_async_backend_rejects_bad_config():
     inner = SimulatorBackend(TransparentLLM(seed=11))
     for kwargs in (
@@ -461,20 +534,17 @@ def test_service_pickles_to_cold_equivalent(table_instances):
 
 def test_sweep_summary_byte_identical_across_backends(tmp_path):
     payloads = {}
-    for gen_backend in ("simulator", "async"):
+    for gen_backend in ("simulator", "async", "process"):
         out = tmp_path / gen_backend
-        runner = SweepRunner(
+        with SweepRunner(
             SPEC, out, gen_backend=gen_backend, max_batch=4, max_wait_ms=5.0
-        )
-        runner.run_shard()
-        try:
+        ) as runner:
+            runner.run_shard()
             merged = merge_sweep(out)
-        finally:
-            if runner.service is not None:
-                runner.service.close()
         assert merged["summary"]["n_units"] == 1
         payloads[gen_backend] = (out / SUMMARY_NAME).read_bytes()
     assert payloads["simulator"] == payloads["async"]  # byte for byte
+    assert payloads["simulator"] == payloads["process"]  # the new axis too
 
 
 def test_warm_async_run_over_compacted_store_has_zero_misses(tmp_path):
@@ -503,6 +573,207 @@ def test_warm_async_run_over_compacted_store_has_zero_misses(tmp_path):
     cold_manifest = json.loads(next(iter(sorted(reference))).read_text())
     # strict_jsonable: the on-disk manifest went through NaN -> None.
     assert strict_jsonable(manifest["units"]) == cold_manifest["units"]
+
+
+# -- lifecycle: nothing outlives a run ----------------------------------------
+
+
+def microbatcher_threads() -> "list[threading.Thread]":
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name == "generation-microbatcher"
+    ]
+
+
+def test_service_is_a_context_manager(table_instances):
+    with GenerationService.build(
+        TransparentLLM(seed=11), gen_backend=ASYNC, max_wait_ms=1.0
+    ) as service:
+        service.generate_one(GenerationRequest(FREE, table_instances[0]))
+        assert microbatcher_threads()
+    assert not microbatcher_threads()
+
+
+def test_run_cli_leaves_no_scheduler_threads(capsys, monkeypatch):
+    from repro.runtime.cli import main
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    args = [
+        "--benchmark", "bird",
+        "--split", "dev",
+        "--task", "table",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--backend", "async",
+        "--max-wait-ms", "1",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert not microbatcher_threads(), "a scheduler thread outlived repro-run"
+
+
+def test_run_cli_closes_backend_on_error_paths(capsys, monkeypatch):
+    """The lifecycle bug: a crash mid-run must still tear the service
+    down — no daemon scheduler threads (or worker processes) leak."""
+    from repro.runtime import runner as runner_module
+    from repro.runtime.cli import main
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+    def explode(self, *args, **kwargs):
+        raise RuntimeError("mid-run crash")
+
+    monkeypatch.setattr(runner_module.BatchRunner, "run_link", explode)
+    args = [
+        "--benchmark", "bird",
+        "--split", "dev",
+        "--task", "table",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--backend", "async",
+        "--max-wait-ms", "1",
+    ]
+    with pytest.raises(RuntimeError, match="mid-run crash"):
+        main(args)
+    capsys.readouterr()
+    assert not microbatcher_threads(), "error path leaked the scheduler thread"
+
+
+def test_sweep_cli_closes_process_workers(tmp_path, capsys, monkeypatch):
+    """After repro-sweep exits, no generation worker subprocess remains."""
+    import os
+    import subprocess
+    import time
+
+    from repro.runtime import remote as remote_module
+    from repro.runtime.cli import main_sweep
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    spawned: list[int] = []
+    original = subprocess.Popen
+
+    def tracking_popen(*args, **kwargs):
+        proc = original(*args, **kwargs)
+        spawned.append(proc.pid)
+        return proc
+
+    monkeypatch.setattr(remote_module.subprocess, "Popen", tracking_popen)
+    args = [
+        "run",
+        "--benchmarks", "bird",
+        "--splits", "dev",
+        "--tasks", "table",
+        "--modes", "abstain",
+        "--seeds", "3",
+        "--scale", "tiny",
+        "--limit", "2",
+        "--backend", "process",
+        "--workers", "2",
+        "--out", str(tmp_path / "sweep"),
+    ]
+    assert main_sweep(args) == 0
+    capsys.readouterr()
+    assert spawned, "the process backend never spawned workers"
+    deadline = time.monotonic() + 10
+    alive = set(spawned)
+    while alive and time.monotonic() < deadline:
+        for pid in list(alive):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                alive.discard(pid)
+        time.sleep(0.02)
+    assert not alive, f"worker processes outlived repro-sweep: {alive}"
+
+
+# -- compaction writer guard --------------------------------------------------
+
+
+def test_compact_fails_fast_while_another_writer_is_active(tmp_path):
+    from repro.runtime.persist import WriterActiveError
+
+    writer = PersistentGenerationCache(tmp_path, namespace="ns")
+    writer.get_or_compute(("free", "theirs"), lambda: make_trace("theirs"))
+
+    compactor = PersistentGenerationCache(tmp_path, namespace="ns")
+    compactor.get_or_compute(("free", "mine"), lambda: make_trace("mine"))
+    with pytest.raises(WriterActiveError, match="active writer"):
+        compactor.compact()
+
+    # The other writer's entries survived the refused compaction.
+    writer.get_or_compute(("free", "late"), lambda: make_trace("late"))
+    writer.close()
+    assert compactor.compact() == 3  # both writers closed -> guard lifts
+    compactor.close()
+
+    reader = PersistentGenerationCache(tmp_path, namespace="ns")
+    for key in ("theirs", "mine", "late"):
+        loaded = reader.get_or_compute(
+            ("free", key), lambda: pytest.fail("must be on disk")
+        )
+        assert_traces_equal(loaded, make_trace(key))
+    reader.close()
+
+
+def test_compact_force_overrides_the_writer_guard(tmp_path):
+    writer = PersistentGenerationCache(tmp_path, namespace="ns")
+    writer.get_or_compute(("free", "k"), lambda: make_trace("k"))
+
+    compactor = PersistentGenerationCache(tmp_path, namespace="ns")
+    assert compactor.compact(force=True) == 1
+    compactor.close()
+    writer.close()
+
+
+def test_stale_lock_from_a_dead_writer_is_swept(tmp_path):
+    import json as json_module
+    import socket
+
+    cache = PersistentGenerationCache(tmp_path, namespace="ns")
+    cache.get_or_compute(("free", "k"), lambda: make_trace("k"))
+    cache.close()  # releases our own lock
+    # A crashed writer's leftover: same host, long-dead pid.
+    stale = cache.directory / "w-0-dead.jsonl.lock"
+    stale.write_text(
+        json_module.dumps(
+            {"pid": 2**22 + 1, "host": socket.gethostname(), "segment": "w-0-dead.jsonl"}
+        )
+    )
+    assert cache.compact() == 1  # guard self-heals, no force needed
+    assert not stale.exists()
+    cache.close()
+
+
+def test_writer_lock_lifecycle_and_stats(tmp_path):
+    from repro.runtime.persist import LOCK_SUFFIX
+
+    cache = PersistentGenerationCache(tmp_path, namespace="ns")
+    assert cache.writer_locks() == []  # no spill yet, no lock
+    cache.get_or_compute(("free", "k"), lambda: make_trace("k"))
+    locks = list(cache.directory.glob(f"*{LOCK_SUFFIX}"))
+    assert len(locks) == 1  # our own lock exists on disk...
+    assert cache.writer_locks() == []  # ...but never blocks ourselves
+    assert store_stats(tmp_path)["namespaces"]["ns"]["active_writers"] == 1
+    cache.close()
+    assert not list(cache.directory.glob(f"*{LOCK_SUFFIX}"))
+    assert store_stats(tmp_path)["namespaces"]["ns"]["active_writers"] == 0
+
+
+def test_cache_cli_compact_respects_and_forces_the_guard(tmp_path, capsys):
+    from repro.runtime.cli import main_cache
+
+    writer = PersistentGenerationCache(tmp_path, namespace="ns")
+    writer.get_or_compute(("free", "k"), lambda: make_trace("k"))
+
+    assert main_cache(["compact", "--cache-dir", str(tmp_path)]) == 3
+    err = capsys.readouterr().err
+    assert "active" in err and "--force" in err
+
+    assert main_cache(["compact", "--cache-dir", str(tmp_path), "--force"]) == 0
+    forced = json.loads(capsys.readouterr().out)
+    assert forced["compacted"]["ns"]["entries"] == 1
+    writer.close()
 
 
 # -- progress streaming -------------------------------------------------------
