@@ -9,6 +9,10 @@
 #   scripts/dev.sh service-smoke # simulator/async/process byte identity,
 #                                # kill-one-worker crash recovery, compacted
 #                                # SQLite-indexed warm run with zero misses
+#   scripts/dev.sh serve-smoke   # repro-serve over two unix-socket workers:
+#                                # HTTP answers byte-identical to repro-run,
+#                                # duplicate-query cache hits, SIGKILL one
+#                                # worker mid-load and assert clean recovery
 #   scripts/dev.sh all           # everything, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,7 +25,7 @@ lint() {
   }
   ruff check src tests benchmarks examples
   # New subsystems hold the line on formatting; legacy files migrate over time.
-  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/helpers.py
+  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/test_serve.py tests/test_backend_spec.py tests/helpers.py
 }
 
 tier1() {
@@ -198,12 +202,150 @@ PY
        "kill-one-worker recovery clean, compacted+indexed warm run fully hit"
 }
 
+serve_smoke() {
+  local out=out/serve-smoke
+  rm -rf "$out"
+  mkdir -p "$out"
+  run() {
+    python -c 'import sys; from repro.runtime.cli import main; sys.exit(main(sys.argv[1:]))' "$@"
+  }
+
+  # Offline reference artifacts: the lines repro-serve's records must
+  # byte-match for the same (benchmark, example, task, mode).
+  local axes=(--benchmark bird --split dev --mode abstain --scale tiny --workers 2)
+  run "${axes[@]}" --task table --artifact "$out/offline-table.jsonl" \
+    --cache-dir "$out/gen-offline" > "$out/offline-table.json"
+  run "${axes[@]}" --task column --artifact "$out/offline-column.jsonl" \
+    --cache-dir "$out/gen-offline" > "$out/offline-column.json"
+
+  # The server: two unix-socket workers, chaos-delayed generations so
+  # the mid-load SIGKILL below reliably lands on in-flight requests.
+  REPRO_WORKER_CHAOS_DELAY_MS=40 python -c \
+    'import sys; from repro.runtime.serve import main_serve; sys.exit(main_serve(sys.argv[1:]))' \
+    --benchmark bird --scale tiny --backend process --transport unix \
+    --gen-workers 2 --worker-log-dir "$out/worker-logs" \
+    > "$out/serve-ready.json" 2> "$out/serve.log" &
+  local server_pid=$!
+  trap 'kill "$server_pid" 2>/dev/null || true' RETURN
+
+  for _ in $(seq 1 240); do
+    [ -s "$out/serve-ready.json" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+      echo "serve-smoke: server died before ready (see $out/serve.log)" >&2
+      exit 1
+    }
+    sleep 0.5
+  done
+  [ -s "$out/serve-ready.json" ] || {
+    echo "serve-smoke: server never printed its ready line" >&2
+    exit 1
+  }
+
+  python - "$out" <<'PY'
+import json
+import os
+import signal
+import sys
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+out = Path(sys.argv[1])
+ready = json.loads((out / "serve-ready.json").read_text())
+base = f"http://{ready['host']}:{ready['port']}"
+assert ready["transport"] == "unix" and len(ready["worker_pids"]) == 2, ready
+
+
+def get(path):
+    with urllib.request.urlopen(base + path) as response:
+        return json.loads(response.read())
+
+
+def query(payload):
+    request = urllib.request.Request(
+        base + "/v1/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def offline(task):
+    return {
+        record["instance_id"].split("/")[0]: record
+        for record in map(
+            json.loads, (out / f"offline-{task}.jsonl").read_text().splitlines()
+        )
+        if "instance_id" in record
+    }
+
+
+def check(task, response, reference):
+    got = json.dumps(response["record"], sort_keys=True)
+    want = json.dumps(reference, sort_keys=True)
+    assert got == want, f"{task} record drifted from offline:\n {got}\n {want}"
+
+
+health = get("/healthz")
+assert health["status"] == "ok" and health["workers_alive"] == 2, health
+
+# Phase 1: every table answer byte-matches the offline artifact; the
+# same queries again (concurrently) must be L1 cache hits.
+table = offline("table")
+assert table, "offline table artifact is empty"
+for example_id, reference in table.items():
+    check("table", query({"example_id": example_id, "task": "table"}), reference)
+with ThreadPoolExecutor(max_workers=8) as pool:
+    repeats = list(
+        pool.map(lambda i: query({"example_id": i, "task": "table"}), table)
+    )
+for response in repeats:
+    check("table", response, table[response["example_id"]])
+    tier = response["diagnostics"]["cache_tier"]
+    assert tier == "memory", f"duplicate query missed L1: {tier!r}"
+
+# Phase 2: SIGKILL one socket worker while a concurrent burst of
+# uncached column queries is in flight; every answer must still
+# byte-match the offline artifact.
+column = offline("column")
+assert column, "offline column artifact is empty"
+victim = get("/v1/stats")["worker_pids"][0]
+threading.Timer(0.1, os.kill, (victim, signal.SIGKILL)).start()
+with ThreadPoolExecutor(max_workers=8) as pool:
+    burst = list(
+        pool.map(lambda i: query({"example_id": i, "task": "column"}), column)
+    )
+for response in burst:
+    check("column", response, column[response["example_id"]])
+
+stats = get("/v1/stats")
+supervisor = stats["supervisor"]
+assert supervisor["n_restarts"] >= 1, f"victim never replaced: {supervisor}"
+assert supervisor["n_requeued"] >= 1, f"in-flight work never requeued: {supervisor}"
+assert supervisor["n_duplicate_results"] == 0, f"a result resolved twice: {supervisor}"
+assert stats["tiers"]["memory"]["hits"] >= len(table), f"no L1 hits: {stats['tiers']}"
+assert stats["requests"]["n_queries"] >= 2 * len(table) + len(column), stats["requests"]
+print(
+    f"serve-smoke OK: {stats['requests']['n_queries']} queries byte-identical "
+    f"to offline, supervisor={supervisor}, tiers={stats['tiers']}"
+)
+PY
+
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  echo "serve-smoke passed: HTTP answers byte-identical to repro-run," \
+       "duplicate queries hit L1, SIGKILLed socket worker recovered cleanly"
+}
+
 case "${1:-all}" in
   lint) lint ;;
   test) tier1 ;;
   bench-smoke) bench_smoke ;;
   sweep-smoke) sweep_smoke ;;
   service-smoke) service_smoke ;;
-  all) lint; tier1; bench_smoke; sweep_smoke; service_smoke ;;
-  *) echo "usage: scripts/dev.sh [lint|test|bench-smoke|sweep-smoke|service-smoke|all]" >&2; exit 2 ;;
+  serve-smoke) serve_smoke ;;
+  all) lint; tier1; bench_smoke; sweep_smoke; service_smoke; serve_smoke ;;
+  *) echo "usage: scripts/dev.sh [lint|test|bench-smoke|sweep-smoke|service-smoke|serve-smoke|all]" >&2; exit 2 ;;
 esac

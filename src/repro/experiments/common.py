@@ -43,7 +43,7 @@ from repro.llm.model import TransparentLLM
 from repro.runtime.cache import CachingLLM, GenerationCache
 from repro.runtime.pool import THREAD, WorkerPool
 from repro.runtime.runner import BatchRunner
-from repro.runtime.service import SIMULATOR, GenerationService
+from repro.runtime.service import BackendSpec, GenerationService
 from repro.utils.tabulate import render_table
 
 __all__ = ["ExperimentContext", "ExperimentResult", "DATASETS"]
@@ -118,11 +118,12 @@ class ExperimentContext:
         backend: str = THREAD,
         cache: "GenerationCache | None" = None,
         cache_dir: "str | Path | None" = None,
-        gen_backend: str = SIMULATOR,
-        max_batch: int = 8,
-        max_wait_ms: float = 2.0,
+        gen_backend: "str | None" = None,
+        max_batch: "int | None" = None,
+        max_wait_ms: "float | None" = None,
         worker_log_dir: "str | Path | None" = None,
         service: "GenerationService | None" = None,
+        spec: "BackendSpec | None" = None,
     ):
         self.corpus_seed = corpus_seed
         self.llm_seed = llm_seed
@@ -130,10 +131,29 @@ class ExperimentContext:
         self.scale = scale or CorpusScale.small()
         self.workers = workers
         self.backend = backend
-        self.gen_backend = gen_backend
-        self.max_batch = max_batch
-        self.max_wait_ms = max_wait_ms
-        self.worker_log_dir = worker_log_dir
+        # One BackendSpec describes the generation backend; the loose
+        # keyword arguments are the pre-spec surface, folded in here.
+        if spec is None:
+            overrides = {
+                "kind": gen_backend,
+                "workers": max(1, workers),
+                "max_batch": max_batch,
+                "max_wait_ms": max_wait_ms,
+                "worker_log_dir": (
+                    str(worker_log_dir) if worker_log_dir is not None else None
+                ),
+            }
+            spec = BackendSpec(
+                **{key: value for key, value in overrides.items() if value is not None}
+            )
+        elif any(
+            value is not None
+            for value in (gen_backend, max_batch, max_wait_ms, worker_log_dir)
+        ):
+            raise ValueError(
+                "pass backend configuration on the spec, not alongside it"
+            )
+        self.spec = spec
         self._cache = cache
         self._service = service
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -175,19 +195,19 @@ class ExperimentContext:
                 self._llm = CachingLLM(service=self._service)
             else:
                 base = TransparentLLM(seed=self.llm_seed)
-                self._service = GenerationService.build(
+                self._service = self.spec.build(
                     base,
-                    gen_backend=self.gen_backend,
                     cache=self._cache,
                     cache_dir=self.cache_dir,
                     pool=self.pool,
-                    max_batch=self.max_batch,
-                    max_wait_ms=self.max_wait_ms,
-                    workers=max(1, self.workers),
-                    worker_log_dir=self.worker_log_dir,
                 )
                 self._llm = CachingLLM(base, service=self._service)
         return self._llm
+
+    @property
+    def gen_backend(self) -> str:
+        """Back-compat alias for ``spec.kind`` (pre-spec surface)."""
+        return self.spec.kind
 
     @property
     def service(self) -> GenerationService:

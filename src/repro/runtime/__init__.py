@@ -26,8 +26,24 @@ This package provides the shared substrate for doing that at scale:
 * :mod:`repro.runtime.sweep` — `SweepSpec` / `ShardPlan` /
   `SweepRunner` / `merge_sweep`: deterministic sharding of multi-axis
   evaluation matrices with byte-identical merged summaries;
+* :mod:`repro.runtime.remote` — the process/socket worker substrate:
+  a `Transport` seam (stdio pipes, unix-domain and TCP sockets) under
+  the `ProcessBackend` supervisor, with hello/heartbeat registration,
+  EWMA latency-aware scheduling, restart-on-crash and in-flight
+  requeue; ``repro-worker --connect`` joins a fleet from any machine;
+* :mod:`repro.runtime.serve` — the ``repro-serve`` online tier:
+  ``POST /v1/query`` answers (or abstains) through the same service,
+  byte-identically to the offline drivers;
 * :mod:`repro.runtime.cli` — the ``repro-run``, ``repro-sweep`` and
-  ``repro-cache`` console entry points.
+  ``repro-cache`` console entry points, sharing one
+  :class:`~repro.runtime.service.BackendSpec` flag vocabulary with
+  ``repro-serve`` and ``repro-worker``.
+
+The stable public API of this package is its ``__all__``: the service
+layer (`GenerationService`, `BackendSpec`, the backends), the stores,
+the runner/sweep orchestration and the record helpers. Old keyword
+spellings (``GenerationService.build(backend=...)``) keep working for
+one release behind deprecation shims.
 
 Every path is deterministic: a batch run with ``workers=4`` produces
 byte-identical aggregate metrics to the serial fallback, a sweep split
@@ -51,12 +67,18 @@ from repro.runtime.persist import (
     store_stats,
 )
 from repro.runtime.pool import BACKENDS, PROCESS, SERIAL, THREAD, WorkerPool
+from repro.runtime.remote import ProcessBackend, SupervisorStats, WorkerCrashError
 from repro.runtime.runner import BatchResult, BatchRunner
 from repro.runtime.service import (
     ASYNC,
     GEN_BACKENDS,
+    PIPE_TRANSPORT,
     SIMULATOR,
+    TCP_TRANSPORT,
+    TRANSPORTS,
+    UNIX_TRANSPORT,
     AsyncBatchedBackend,
+    BackendSpec,
     GenerationBackend,
     GenerationRequest,
     GenerationService,
@@ -74,6 +96,7 @@ from repro.runtime.sweep import (
 __all__ = [
     "ASYNC",
     "BACKENDS",
+    "BackendSpec",
     "BatchResult",
     "BatchRunner",
     "CacheStats",
@@ -84,18 +107,25 @@ __all__ = [
     "GenerationRequest",
     "GenerationService",
     "AsyncBatchedBackend",
+    "PIPE_TRANSPORT",
     "PROCESS",
     "PersistentGenerationCache",
+    "ProcessBackend",
     "RunArtifact",
     "SERIAL",
     "SIMULATOR",
     "ShardPlan",
     "SimulatorBackend",
     "SqliteSegmentIndex",
+    "SupervisorStats",
     "SweepRunner",
     "SweepSpec",
     "SweepUnit",
+    "TCP_TRANSPORT",
     "THREAD",
+    "TRANSPORTS",
+    "UNIX_TRANSPORT",
+    "WorkerCrashError",
     "WorkerPool",
     "generation_namespace",
     "instance_key",

@@ -145,6 +145,11 @@ class GenerationCache:
 
     # -- tier primitives (driven by runtime.service.GenerationService) -------
 
+    def contains(self, key) -> bool:
+        """Membership without accounting (diagnostics peeks, not lookups)."""
+        with self._lock:
+            return key in self._data
+
     def probe(self, key):
         """The cached value, counting a hit — or the ``_MISS`` sentinel.
 

@@ -48,6 +48,13 @@ appended entries may be dropped)::
 
     repro-cache stats --cache-dir out/gen
     repro-cache compact --cache-dir out/gen
+
+The online tier lives next door: ``repro-serve`` (see
+:mod:`repro.runtime.serve`) answers HTTP queries through the same
+service, byte-identically to these offline drivers, and
+``repro-worker --connect`` (see :mod:`repro.runtime.remote`) joins a
+socket-transport supervisor from any machine. All four entry points
+share one :class:`~repro.runtime.service.BackendSpec` flag vocabulary.
 """
 
 from __future__ import annotations
@@ -62,7 +69,7 @@ from repro.corpus.generator import CorpusScale
 from repro.experiments.common import ExperimentContext
 from repro.runtime.artifacts import strict_jsonable
 from repro.runtime.pool import BACKENDS, THREAD, default_workers
-from repro.runtime.service import GEN_BACKENDS, SIMULATOR
+from repro.runtime.service import BackendSpec
 from repro.runtime.sweep import (
     BENCHMARKS,
     SCALES as SWEEP_SCALES,
@@ -105,37 +112,6 @@ def _default_cache_dir() -> "str | None":
     return os.environ.get("REPRO_CACHE_DIR") or None
 
 
-def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
-    """The generation-backend axis, shared by repro-run and repro-sweep."""
-    backend = parser.add_argument_group("generation backend")
-    backend.add_argument(
-        "--backend",
-        choices=GEN_BACKENDS,
-        default=SIMULATOR,
-        help="generation backend: direct simulator calls, the "
-        "microbatch-coalescing async scheduler, or crash-isolated "
-        "worker subprocesses (byte-identical results on every axis)",
-    )
-    backend.add_argument(
-        "--max-batch",
-        type=positive_int,
-        default=8,
-        help="async backend: max requests coalesced into one microbatch",
-    )
-    backend.add_argument(
-        "--max-wait-ms",
-        type=nonnegative_float,
-        default=2.0,
-        help="async backend: max milliseconds a microbatch waits to fill",
-    )
-    backend.add_argument(
-        "--worker-log-dir",
-        default=None,
-        help="process backend: directory capturing per-worker stderr logs "
-        "(default: workers inherit this process's stderr)",
-    )
-
-
 RUN_EPILOG = """\
 examples:
   # four-thread link sweep, resumable artifact, shared generation store
@@ -146,12 +122,16 @@ examples:
   repro-run --benchmark bird --split dev --task table --mode abstain \\
       --workers 4 --backend async --max-batch 8 --max-wait-ms 2
 
-  # crash-isolated worker subprocesses, stderr captured per worker
+  # crash-isolated worker processes over unix-domain sockets; external
+  # `repro-worker --connect <address>` processes may join the fleet
   repro-run --benchmark bird --split dev --task table --mode abstain \\
-      --workers 4 --backend process --worker-log-dir out/worker-logs
+      --workers 4 --backend process --transport unix \\
+      --worker-log-dir out/worker-logs
 
 The --backend axis never changes a summary byte: all three backends are
-pure functions of the same requests and share one cache namespace.
+pure functions of the same requests and share one cache namespace. The
+same spec drives the online tier: `repro-serve` answers HTTP queries
+byte-identically to these offline runs (see repro-serve --help).
 """
 
 
@@ -183,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=THREAD,
         help="worker-pool execution backend for per-example evaluation",
     )
-    _add_backend_arguments(parser)
+    BackendSpec.add_arguments(parser)
     parser.add_argument(
         "--cache-dir",
         default=_default_cache_dir(),
@@ -221,10 +201,7 @@ def main(argv: "list[str] | None" = None) -> int:
         workers=args.workers,
         backend=args.pool,
         cache_dir=args.cache_dir,
-        gen_backend=args.backend,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        worker_log_dir=args.worker_log_dir,
+        spec=BackendSpec.from_args(args, workers=max(1, args.workers)),
     )
     with ctx:
         benchmark = ctx.benchmark(args.benchmark)
@@ -330,6 +307,9 @@ examples:
 Shards may mix --backend values freely (simulator, async, process):
 unit summaries and the merged sweep-summary.json are byte-identical
 regardless, and all backends share one persistent cache namespace.
+With --backend process --transport unix|tcp the workers connect over
+sockets, and external machines can lend capacity to a shard by running
+`repro-worker --connect <address>` against its supervisor.
 """
 
 
@@ -361,7 +341,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         default=THREAD,
         help="worker-pool execution backend for per-example evaluation",
     )
-    _add_backend_arguments(run)
+    BackendSpec.add_arguments(run)
     run.add_argument(
         "--progress",
         action="store_true",
@@ -418,10 +398,7 @@ def main_sweep(argv: "list[str] | None" = None) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         pool=args.pool,
-        gen_backend=args.backend,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        worker_log_dir=args.worker_log_dir,
+        backend_spec=BackendSpec.from_args(args, workers=max(1, args.workers)),
         progress=progress_line if args.progress else None,
     ) as runner:
         manifest = runner.run_shard(args.shard_index, args.shard_count)

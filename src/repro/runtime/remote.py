@@ -1,90 +1,125 @@
-"""Process-isolated generation backend with crash recovery.
+"""Remote generation workers over a pluggable transport, with crash recovery.
 
 `SimulatorBackend` and `AsyncBatchedBackend` both execute generations
 inside the calling process: one worker crash (OOM, native-extension
 fault, operator SIGKILL) takes the whole sweep shard down with it, and a
 GIL-bound kernel caps throughput at one core no matter how many threads
-the scheduler runs. This module moves execution out of process:
+the scheduler runs. This module moves execution out of process — and,
+over sockets, onto other machines:
 
 :class:`ProcessBackend` (the supervisor)
-    Spawns N worker subprocesses, each running :func:`worker_main` — a
-    request-serving loop over framed, length-prefixed IPC on the
-    worker's stdin/stdout pipes. The supervisor dispatches a batch
-    round-robin over the workers, a reader thread per worker routes
-    results back to the submitting callers, and worker lifecycle is
+    Manages a fleet of workers, each a request-serving loop over framed,
+    length-prefixed IPC. *Where* a worker lives is a transport choice:
+
+    * ``transport="pipe"`` (default) — N spawned subprocesses speaking
+      frames on their stdin/stdout pipes (:class:`PipeTransport`);
+    * ``transport="unix"`` / ``transport="tcp"`` — the supervisor binds
+      a listening socket, spawns N ``repro-worker`` subprocesses that
+      connect back to it, and *also* accepts unsolicited connections
+      from external ``repro-worker --connect <address>`` processes on
+      any machine that can reach the address (:class:`SocketTransport`).
+      Socket workers introduce themselves with an identity/capabilities
+      ``hello`` and send periodic ``heartbeat`` frames.
+
+    Batches are scheduled by observed per-worker latency: each worker
+    carries an EWMA of its request round-trip times and every request
+    goes to the worker with the lowest expected completion time
+    (``ewma × (in-flight + 1)``), so a slow or remote worker naturally
+    receives less traffic than a fast local one. Worker lifecycle is
     managed end to end: liveness is checked before every batch (plus an
-    explicit :meth:`ProcessBackend.ping` health check), a crashed
-    worker is restarted within a restart budget, and every request that
-    was in flight on a dead worker is requeued to a surviving worker.
-    Each request resolves exactly once — a kill can delay a generation
-    but never lose or duplicate one.
+    explicit :meth:`ProcessBackend.ping` health check), a crashed or
+    disconnected worker is replaced within a restart budget, and every
+    request that was in flight on a dead worker is requeued to a
+    surviving worker. Each request resolves exactly once — a kill can
+    delay a generation but never lose or duplicate one.
 
 Wire protocol
 -------------
 Frames are ``4-byte big-endian length + payload``; payloads are pickled
 message dicts tagged with ``"op"``::
 
+    worker -> supervisor: {"op": "hello", "pid": ..., "host": ...,
+                           "token": ..., "capabilities": {...}}   (socket only)
     supervisor -> worker: {"op": "init", "llm": TransparentLLM}
     worker -> supervisor: {"op": "ready", "pid": ...}
     supervisor -> worker: {"op": "generate", "id": n, "request": GenerationRequest}
     worker -> supervisor: {"op": "result", "id": n, "trace": GenerationTrace}
                           | {"op": "error", "id": n, "error": traceback str}
     supervisor -> worker: {"op": "ping", "id": n}   -> {"op": "pong", "id": n}
-    supervisor -> worker: {"op": "shutdown"}        (or EOF on stdin)
+    worker -> supervisor: {"op": "heartbeat", "pid": ...}         (socket only)
+    supervisor -> worker: {"op": "shutdown"}        (or EOF)
 
 Pickle round-trips numpy arrays bit-exactly and traces are pure
 functions of their requests, so :class:`ProcessBackend` is byte-identical
-to :class:`~repro.runtime.service.SimulatorBackend` — the ``--backend
-process`` axis changes *where* a generation runs, never a single summary
-byte. ``identity()`` is the simulator identity tuple, so all three
-backends share one persistent-cache namespace.
+to :class:`~repro.runtime.service.SimulatorBackend` on every transport —
+the ``--backend process`` axis changes *where* a generation runs, never
+a single summary byte. ``identity()`` is the simulator identity tuple,
+so all backends share one persistent-cache namespace.
 
-Workers write nothing to stdout except frames (diagnostics go to
-stderr, optionally captured per worker under ``log_dir``). The
+Workers write nothing to their frame channel except frames (diagnostics
+go to stderr, captured per worker under ``log_dir`` — defaulted to a
+fresh temp directory so crash forensics always exist). The
 ``REPRO_WORKER_CHAOS_DELAY_MS`` environment variable makes each worker
 sleep that long before every generation — a fault-injection knob used by
-the kill-recovery tests and the CI ``service-smoke`` job to hold a batch
-open long enough to crash a worker mid-flight.
-
-This is deliberately the seam future *remote* (multi-machine) backends
-plug into: the framing and message vocabulary carry no process-local
-state, so a socket transport can reuse them unchanged.
+the kill-recovery tests and the CI smoke jobs to hold a batch open long
+enough to crash a worker mid-flight.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import pickle
+import socket
 import struct
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import traceback
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.llm.model import GenerationTrace, TransparentLLM
-from repro.runtime.service import FORCED, simulator_identity
+from repro.runtime.service import (
+    FORCED,
+    FREE,
+    PIPE_TRANSPORT,
+    TCP_TRANSPORT,
+    TRANSPORTS,
+    UNIX_TRANSPORT,
+    simulator_identity,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.service import GenerationRequest
 
 __all__ = [
     "CHAOS_DELAY_ENV",
+    "DEFAULT_HEARTBEAT_S",
+    "PipeTransport",
     "ProcessBackend",
+    "SocketTransport",
     "SupervisorStats",
     "WorkerCrashError",
     "WorkerError",
+    "build_worker_parser",
+    "connect_address",
+    "create_listener",
+    "main_worker",
+    "parse_address",
     "read_frame",
     "recv_message",
     "send_message",
+    "socket_worker_main",
     "worker_main",
     "write_frame",
 ]
 
 CHAOS_DELAY_ENV = "REPRO_WORKER_CHAOS_DELAY_MS"
+DEFAULT_HEARTBEAT_S = 2.0
 
 _HEADER = struct.Struct(">I")
 
@@ -145,33 +180,168 @@ def recv_message(stream) -> "dict | None":
     return pickle.loads(payload)
 
 
-# -- the worker loop ----------------------------------------------------------
+# -- addresses ----------------------------------------------------------------
 
 
-def worker_main(stdin=None, stdout=None) -> int:
-    """Serve generation requests over framed stdin/stdout until EOF.
+def parse_address(address: str) -> tuple:
+    """``"unix:/path"`` → ``("unix", path)``; ``"tcp:host:port"`` →
+    ``("tcp", (host, port))``."""
+    kind, _, rest = address.partition(":")
+    if kind == UNIX_TRANSPORT and rest:
+        return (UNIX_TRANSPORT, rest)
+    if kind == TCP_TRANSPORT and rest:
+        host, _, port = rest.rpartition(":")
+        if host and port.isdigit():
+            return (TCP_TRANSPORT, (host, int(port)))
+    raise ValueError(
+        f"bad worker address {address!r}; expected unix:/path or tcp:host:port"
+    )
 
-    The first frame is the init message carrying the pickled
-    :class:`TransparentLLM`; everything after is request/response.
+
+def connect_address(address: str) -> socket.socket:
+    """A connected socket to a supervisor at ``address``."""
+    kind, target = parse_address(address)
+    if kind == UNIX_TRANSPORT:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(target)
+        return sock
+    return socket.create_connection(target)
+
+
+def create_listener(transport: str, address: "str | None") -> tuple:
+    """A bound, listening socket plus its canonical address string.
+
+    With no explicit ``address``, unix sockets bind in a fresh temp
+    directory and TCP binds an ephemeral localhost port — both printed
+    back as the address workers should ``--connect`` to.
+    """
+    if transport == UNIX_TRANSPORT:
+        if address is not None:
+            path = parse_address(address)[1]
+        else:
+            path = str(Path(tempfile.mkdtemp(prefix="repro-sup-")) / "supervisor.sock")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path)
+        sock.listen()
+        return sock, f"unix:{path}"
+    if transport == TCP_TRANSPORT:
+        host, port = parse_address(address)[1] if address is not None else ("127.0.0.1", 0)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen()
+        bound_host, bound_port = sock.getsockname()[:2]
+        return sock, f"tcp:{bound_host}:{bound_port}"
+    raise ValueError(f"transport {transport!r} has no listener")
+
+
+# -- transports ---------------------------------------------------------------
+
+
+class PipeTransport:
+    """Framed IPC over a spawned subprocess's stdin/stdout pipes."""
+
+    def __init__(self, proc: subprocess.Popen):
+        self.proc = proc
+
+    def send(self, message: dict) -> None:
+        send_message(self.proc.stdin, message)
+
+    def send_bytes(self, payload: bytes) -> None:
+        write_frame(self.proc.stdin, payload)
+
+    def recv(self) -> "dict | None":
+        try:
+            return recv_message(self.proc.stdout)
+        except Exception:  # torn pickle == dying worker
+            return None
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def begin_shutdown(self) -> None:
+        """Politely end the channel (the worker loop exits on EOF)."""
+        try:
+            self.proc.stdin.close()
+        except (OSError, ValueError):
+            pass
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+
+    def close(self) -> None:
+        self.begin_shutdown()
+
+
+class SocketTransport:
+    """Framed IPC over one connected unix-domain or TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+        self._closed = False
+
+    def send(self, message: dict) -> None:
+        send_message(self._wfile, message)
+
+    def send_bytes(self, payload: bytes) -> None:
+        write_frame(self._wfile, payload)
+
+    def recv(self) -> "dict | None":
+        try:
+            return recv_message(self._rfile)
+        except Exception:  # closed under us / torn pickle == dead peer
+            return None
+
+    def alive(self) -> bool:
+        return not self._closed
+
+    def begin_shutdown(self) -> None:
+        """Half-close the write side so the peer's recv sees EOF."""
+        try:
+            self._wfile.flush()
+            self.sock.shutdown(socket.SHUT_WR)
+        except (OSError, ValueError):
+            pass
+
+    def kill(self) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for resource in (self._rfile, self._wfile, self.sock):
+            try:
+                resource.close()
+            except (OSError, ValueError):
+                pass
+
+
+# -- the worker loops ---------------------------------------------------------
+
+
+def _serve_requests(recv: Callable, send: Callable, llm) -> int:
+    """The shared request loop: generate/ping until EOF or shutdown.
+
     Request-level failures are reported as ``error`` messages (the loop
     keeps serving); only a broken channel or a shutdown message ends it.
+    ``send`` must be safe to call from this thread while heartbeats (if
+    any) use the same lock-wrapped callable from theirs.
     """
-    stdin = stdin if stdin is not None else sys.stdin.buffer
-    stdout = stdout if stdout is not None else sys.stdout.buffer
-    init = recv_message(stdin)
-    if init is None or init.get("op") != "init":
-        print("repro worker: no init message; exiting", file=sys.stderr)
-        return 1
-    llm = init["llm"]
     chaos_delay = float(os.environ.get(CHAOS_DELAY_ENV, "0") or 0) / 1000.0
-    send_message(stdout, {"op": "ready", "pid": os.getpid()})
     while True:
-        message = recv_message(stdin)
+        message = recv()
         if message is None or message.get("op") == "shutdown":
             return 0
-        if message["op"] == "ping":
-            send_message(stdout, {"op": "pong", "id": message["id"]})
+        op = message.get("op")
+        if op == "ping":
+            send({"op": "pong", "id": message["id"]})
             continue
+        if op != "generate":
+            continue  # future-proofing: unknown supervisor ops are ignored
         request = message["request"]
         try:
             if chaos_delay:
@@ -181,12 +351,147 @@ def worker_main(stdin=None, stdout=None) -> int:
             else:
                 trace = llm.generate(request.instance)
         except Exception:
-            send_message(
-                stdout,
-                {"op": "error", "id": message["id"], "error": traceback.format_exc()},
+            send(
+                {"op": "error", "id": message["id"], "error": traceback.format_exc()}
             )
             continue
-        send_message(stdout, {"op": "result", "id": message["id"], "trace": trace})
+        send({"op": "result", "id": message["id"], "trace": trace})
+
+
+def worker_main(stdin=None, stdout=None) -> int:
+    """Serve generation requests over framed stdin/stdout until EOF.
+
+    The first frame is the init message carrying the pickled
+    :class:`TransparentLLM`; everything after is request/response.
+    """
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout.buffer
+    init = recv_message(stdin)
+    if init is None or init.get("op") != "init":
+        print("repro worker: no init message; exiting", file=sys.stderr)
+        return 1
+    llm = init["llm"]
+    send_message(stdout, {"op": "ready", "pid": os.getpid()})
+    return _serve_requests(
+        lambda: recv_message(stdin), lambda message: send_message(stdout, message), llm
+    )
+
+
+def _heartbeat_loop(send: Callable, stop: threading.Event, interval_s: float) -> None:
+    while not stop.wait(interval_s):
+        try:
+            send({"op": "heartbeat", "pid": os.getpid()})
+        except (OSError, ValueError):
+            return  # channel gone: the main loop is exiting too
+
+
+def socket_worker_main(
+    address: str,
+    token: "str | None" = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+) -> int:
+    """Connect to a supervisor, register, and serve its requests.
+
+    This is the ``repro-worker`` entry point: the hello frame carries
+    the worker's identity (pid, host) and capabilities, the supervisor
+    answers with the init message, and a daemon thread heartbeats every
+    ``heartbeat_s`` seconds so the supervisor can tell a slow worker
+    from a dead link.
+    """
+    try:
+        sock = connect_address(address)
+    except OSError as exc:
+        print(f"repro-worker: cannot connect to {address}: {exc}", file=sys.stderr)
+        return 1
+    transport = SocketTransport(sock)
+    write_lock = threading.Lock()
+
+    def send(message: dict) -> None:
+        with write_lock:
+            transport.send(message)
+
+    try:
+        send(
+            {
+                "op": "hello",
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "token": token,
+                "capabilities": {"kinds": [FREE, FORCED]},
+            }
+        )
+        init = transport.recv()
+        if init is None or init.get("op") != "init":
+            print("repro-worker: no init message; exiting", file=sys.stderr)
+            return 1
+        llm = init["llm"]
+        stop = threading.Event()
+        if heartbeat_s > 0:
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(send, stop, heartbeat_s),
+                name="repro-worker-heartbeat",
+                daemon=True,
+            ).start()
+        send({"op": "ready", "pid": os.getpid()})
+        try:
+            return _serve_requests(transport.recv, send, llm)
+        finally:
+            stop.set()
+    finally:
+        transport.close()
+
+
+WORKER_EPILOG = """\
+examples:
+  # join a supervisor listening on a unix-domain socket (same machine)
+  repro-worker --connect unix:/tmp/repro-sup-abc/supervisor.sock
+
+  # join a supervisor on another machine over TCP
+  repro-worker --connect tcp:10.0.0.5:7431
+
+Without --connect the worker serves framed stdio — the pipe-transport
+mode ProcessBackend spawns directly. Generations are byte-identical on
+every transport; REPRO_WORKER_CHAOS_DELAY_MS delays each generation for
+fault-injection testing.
+"""
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="A generation worker serving a ProcessBackend supervisor.",
+        epilog=WORKER_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        help="supervisor address (unix:/path or tcp:host:port); "
+        "omit to serve framed stdio as a pipe-transport worker",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="spawn token echoed in the hello frame (set by the supervisor "
+        "when it launches its own socket workers)",
+    )
+    parser.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=DEFAULT_HEARTBEAT_S,
+        help="heartbeat interval for socket transports (0 disables)",
+    )
+    return parser
+
+
+def main_worker(argv: "list[str] | None" = None) -> int:
+    args = build_worker_parser().parse_args(argv)
+    if args.connect is None:
+        return worker_main()
+    return socket_worker_main(
+        args.connect, token=args.token, heartbeat_s=args.heartbeat_s
+    )
 
 
 # -- the supervisor -----------------------------------------------------------
@@ -202,12 +507,28 @@ class SupervisorStats:
     n_restarts: int
     n_requeued: int
     n_duplicate_results: int
+    transport: str = PIPE_TRANSPORT
+    n_external: int = 0
+    n_heartbeats: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "n_alive": self.n_alive,
+            "n_spawned": self.n_spawned,
+            "n_restarts": self.n_restarts,
+            "n_requeued": self.n_requeued,
+            "n_duplicate_results": self.n_duplicate_results,
+            "transport": self.transport,
+            "n_external": self.n_external,
+            "n_heartbeats": self.n_heartbeats,
+        }
 
 
 class _Pending:
     """One dispatched request waiting for its result."""
 
-    __slots__ = ("request", "worker", "event", "value", "error")
+    __slots__ = ("request", "worker", "event", "value", "error", "sent_at")
 
     def __init__(self, request):
         self.request = request
@@ -215,6 +536,7 @@ class _Pending:
         self.event = threading.Event()
         self.value = None
         self.error: "BaseException | None" = None
+        self.sent_at: "float | None" = None
 
     def resolve(self, value=None, error=None) -> None:
         self.value = value
@@ -222,32 +544,77 @@ class _Pending:
         self.event.set()
 
 
+# EWMA smoothing for per-worker request latency (higher = more reactive).
+_EWMA_ALPHA = 0.3
+
+
 class _Worker:
-    """A subprocess plus its write lock, reader thread and liveness flag."""
+    """One fleet member: transport, lifecycle flags, latency estimate."""
 
-    __slots__ = ("index", "proc", "log_handle", "write_lock", "ready", "dead", "reader")
+    __slots__ = (
+        "index",
+        "transport",
+        "proc",
+        "log_handle",
+        "write_lock",
+        "ready",
+        "dead",
+        "reader",
+        "pid",
+        "remote",
+        "ewma_s",
+        "inflight",
+        "last_seen",
+    )
 
-    def __init__(self, index: int, proc: subprocess.Popen, log_handle):
+    def __init__(
+        self,
+        index: int,
+        transport,
+        proc: "subprocess.Popen | None" = None,
+        log_handle=None,
+        remote: bool = False,
+    ):
         self.index = index
+        self.transport = transport
         self.proc = proc
         self.log_handle = log_handle
         self.write_lock = threading.Lock()
         self.ready = threading.Event()
         self.dead = False  # guarded by the supervisor lock
         self.reader: "threading.Thread | None" = None
+        self.pid: "int | None" = proc.pid if proc is not None else None
+        self.remote = remote  # joined over the wire, not spawned by us
+        self.ewma_s: "float | None" = None  # observed request latency
+        self.inflight = 0  # guarded by the supervisor lock
+        self.last_seen = time.monotonic()
+
+    def alive_probe(self) -> bool:
+        """Cheap liveness: subprocess poll when we own one, else channel."""
+        if self.proc is not None:
+            return self.proc.poll() is None
+        return self.transport.alive()
 
 
 class ProcessBackend:
-    """Supervises N generation worker subprocesses over framed pipe IPC.
+    """Supervises a fleet of generation workers over a pluggable transport.
 
-    ``generate`` dispatches a batch round-robin across alive workers and
-    blocks until every request resolves. A worker that exits — crash,
-    OOM kill, operator SIGKILL — triggers recovery on its reader thread:
-    the worker is replaced (while ``max_restarts`` lasts) and all of its
-    in-flight requests are requeued to surviving workers, so a killed
-    worker delays results but never loses or duplicates one. When the
-    fleet cannot be kept alive, every stranded caller gets a
-    :class:`WorkerCrashError` instead of a hang.
+    ``generate`` dispatches a batch over alive workers — each request to
+    the worker with the lowest expected completion time (latency EWMA ×
+    queue depth) — and blocks until every request resolves. A worker
+    that exits or disconnects — crash, OOM kill, operator SIGKILL, a
+    severed network link — triggers recovery on its reader thread: the
+    worker is replaced (while ``max_restarts`` lasts, for workers the
+    supervisor spawns) and all of its in-flight requests are requeued to
+    surviving workers, so a killed worker delays results but never loses
+    or duplicates one. When the fleet cannot be kept alive, every
+    stranded caller gets a :class:`WorkerCrashError` instead of a hang.
+
+    Transports: ``"pipe"`` spawns subprocesses over stdio frames;
+    ``"unix"`` / ``"tcp"`` bind a listening socket, spawn ``workers``
+    local socket workers, and additionally adopt any external
+    ``repro-worker --connect`` that dials in (``workers=0`` makes the
+    supervisor accept-only — it waits for remote workers to join).
 
     Determinism: workers run the same ``TransparentLLM`` code as
     :class:`~repro.runtime.service.SimulatorBackend` and pickle
@@ -265,16 +632,27 @@ class ProcessBackend:
         startup_timeout_s: float = 60.0,
         shutdown_timeout_s: float = 5.0,
         log_dir: "str | Path | None" = None,
+        transport: str = PIPE_TRANSPORT,
+        address: "str | None" = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
     ):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; pick from {TRANSPORTS}")
+        if workers < 1 and transport == PIPE_TRANSPORT:
+            raise ValueError("workers must be >= 1 on the pipe transport")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
         if max_restarts is not None and max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
         self.llm = llm
         self.workers = int(workers)
-        self.max_restarts = 2 * self.workers if max_restarts is None else int(max_restarts)
+        self.max_restarts = 2 * max(1, self.workers) if max_restarts is None else int(max_restarts)
         self.startup_timeout_s = float(startup_timeout_s)
         self.shutdown_timeout_s = float(shutdown_timeout_s)
+        self.transport = transport
+        self.heartbeat_s = float(heartbeat_s)
+        self._address_arg = address
+        self._log_dir_arg = log_dir
         self.log_dir = Path(log_dir) if log_dir is not None else None
         self._lock = threading.RLock()
         self._started = False
@@ -288,7 +666,15 @@ class ProcessBackend:
         self._n_restarts = 0
         self._n_requeued = 0
         self._n_duplicate_results = 0
+        self._n_external = 0
+        self._n_heartbeats = 0
         self._init_blob: "bytes | None" = None
+        self._listener: "socket.socket | None" = None
+        self._listen_address: "str | None" = None
+        self._acceptor: "threading.Thread | None" = None
+        self._handshake_lock = threading.Lock()
+        self._spawn_waiters: "dict[str, dict]" = {}
+        self._last_dead: "_Worker | None" = None
 
     # -- protocol surface ----------------------------------------------------
 
@@ -311,18 +697,46 @@ class ProcessBackend:
                 n_restarts=self._n_restarts,
                 n_requeued=self._n_requeued,
                 n_duplicate_results=self._n_duplicate_results,
+                transport=self.transport,
+                n_external=self._n_external,
+                n_heartbeats=self._n_heartbeats,
             )
 
     @property
     def restarts(self) -> int:
         return self._n_restarts
 
+    @property
+    def address(self) -> "str | None":
+        """The bound listen address once started (socket transports)."""
+        return self._listen_address if self._listen_address else self._address_arg
+
     def worker_pids(self) -> "list[int]":
         """PIDs of the alive workers (for health tooling and kill tests)."""
         with self._lock:
-            return [worker.proc.pid for worker in self._alive()]
+            return [worker.pid for worker in self._alive() if worker.pid is not None]
+
+    def worker_snapshot(self) -> "list[dict]":
+        """Per-worker scheduling state (for /v1/stats and debugging)."""
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "index": worker.index,
+                    "pid": worker.pid,
+                    "remote": worker.remote,
+                    "inflight": worker.inflight,
+                    "ewma_ms": worker.ewma_s * 1000.0 if worker.ewma_s else None,
+                    "idle_s": round(now - worker.last_seen, 3),
+                }
+                for worker in self._alive()
+            ]
 
     # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot the fleet eagerly (``generate`` also starts it lazily)."""
+        self._ensure_started()
 
     def _alive(self) -> "list[_Worker]":  # caller holds self._lock
         return [worker for worker in self._fleet if not worker.dead]
@@ -334,6 +748,27 @@ class ProcessBackend:
         env["PYTHONPATH"] = src_root if not existing else f"{src_root}{os.pathsep}{existing}"
         return env
 
+    def _ensure_log_dir(self) -> Path:
+        # Worker stderr is always captured: without an explicit log_dir
+        # a temp directory holds the logs so crash forensics (and the
+        # restart-budget error's log tail) never come up empty.
+        if self.log_dir is None:
+            self.log_dir = Path(tempfile.mkdtemp(prefix="repro-worker-logs-"))
+        else:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+        return self.log_dir
+
+    def _ensure_listener(self) -> None:  # caller holds self._lock
+        if self._listener is not None:
+            return
+        self._listener, self._listen_address = create_listener(
+            self.transport, self._address_arg
+        )
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="generation-supervisor-acceptor", daemon=True
+        )
+        self._acceptor.start()
+
     def _spawn_worker(self) -> _Worker:  # caller holds self._lock
         if self._init_blob is None:
             self._init_blob = pickle.dumps(
@@ -341,18 +776,30 @@ class ProcessBackend:
             )
         index = self._next_worker_index
         self._next_worker_index += 1
-        log_handle = None
-        if self.log_dir is not None:
-            self.log_dir.mkdir(parents=True, exist_ok=True)
-            log_handle = (self.log_dir / f"worker-{index}.log").open("ab")
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.runtime.remote"],
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=log_handle,
-            env=self._worker_env(),
-        )
-        worker = _Worker(index, proc, log_handle)
+        log_handle = (self._ensure_log_dir() / f"worker-{index}.log").open("ab")
+        proc: "subprocess.Popen | None" = None
+        try:
+            if self.transport == PIPE_TRANSPORT:
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.runtime.remote"],
+                    stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE,
+                    stderr=log_handle,
+                    env=self._worker_env(),
+                )
+                transport = PipeTransport(proc)
+                hello: "dict | None" = None
+            else:
+                transport, proc, hello = self._spawn_socket_worker(index, log_handle)
+        except BaseException:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            log_handle.close()
+            raise
+        worker = _Worker(index, transport, proc, log_handle)
+        if hello is not None and hello.get("pid") is not None:
+            worker.pid = int(hello["pid"])
         worker.reader = threading.Thread(
             target=self._read_loop,
             args=(worker,),
@@ -362,7 +809,7 @@ class ProcessBackend:
         try:
             with worker.write_lock:
                 try:
-                    write_frame(proc.stdin, self._init_blob)
+                    transport.send_bytes(self._init_blob)
                 except (OSError, ValueError) as exc:
                     raise WorkerCrashError(
                         f"worker {index} died during handshake (see "
@@ -371,7 +818,7 @@ class ProcessBackend:
             worker.reader.start()
             deadline = time.monotonic() + self.startup_timeout_s
             while not worker.ready.wait(0.05):
-                if worker.proc.poll() is not None:
+                if not worker.alive_probe():
                     raise WorkerCrashError(
                         f"worker {index} exited during startup (see "
                         f"{self._log_path(worker)})"
@@ -387,43 +834,201 @@ class ProcessBackend:
             # and never let it into the fleet (close() would otherwise
             # join a never-started reader thread).
             worker.dead = True
-            if proc.poll() is None:
-                proc.kill()
-            proc.wait()
-            if log_handle is not None:
-                log_handle.close()
+            worker.transport.kill()
+            if proc is not None:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait()
+            log_handle.close()
             raise
         # Only a fully booted worker joins the fleet.
         self._fleet.append(worker)
         self._n_spawned += 1
         return worker
 
+    def _spawn_socket_worker(self, index: int, log_handle) -> tuple:
+        """Launch a local socket worker and wait for it to dial back in.
+
+        The spawned process carries a one-shot token; the acceptor's
+        handshake thread hands its connection over through
+        ``_spawn_waiters`` (its own lock — never the supervisor lock, so
+        external joins racing a spawn cannot deadlock either side).
+        """
+        self._ensure_listener()
+        token = os.urandom(8).hex()
+        slot = {"event": threading.Event(), "transport": None, "hello": None}
+        with self._handshake_lock:
+            self._spawn_waiters[token] = slot
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.remote",
+                "--connect",
+                self._listen_address,
+                "--token",
+                token,
+                "--heartbeat-s",
+                str(self.heartbeat_s),
+            ],
+            stdin=subprocess.DEVNULL,
+            stdout=log_handle,
+            stderr=log_handle,
+            env=self._worker_env(),
+        )
+        try:
+            deadline = time.monotonic() + self.startup_timeout_s
+            while not slot["event"].wait(0.05):
+                if proc.poll() is not None:
+                    raise WorkerCrashError(
+                        f"socket worker {index} exited before connecting (see "
+                        f"{self.log_dir / f'worker-{index}.log'})"
+                    )
+                if time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        f"socket worker {index} did not connect within "
+                        f"{self.startup_timeout_s}s (address {self._listen_address})"
+                    )
+        except BaseException:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            raise
+        finally:
+            with self._handshake_lock:
+                self._spawn_waiters.pop(token, None)
+        return slot["transport"], proc, slot["hello"]
+
+    def _accept_loop(self) -> None:
+        """One acceptor owns ``accept()``; each connection handshakes on
+        its own short-lived thread so a spawn-in-progress (which waits
+        while holding the supervisor lock) never blocks external joins."""
+        listener = self._listener
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: supervisor is shutting down
+            threading.Thread(
+                target=self._handshake, args=(conn,), daemon=True
+            ).start()
+
+    def _handshake(self, conn: socket.socket) -> None:
+        transport = SocketTransport(conn)
+        hello = transport.recv()
+        if hello is None or hello.get("op") != "hello":
+            transport.close()
+            return
+        token = hello.get("token")
+        if token:
+            with self._handshake_lock:
+                slot = self._spawn_waiters.get(token)
+                if slot is not None:
+                    slot["transport"] = transport
+                    slot["hello"] = hello
+                    slot["event"].set()
+                    return
+        self._adopt(transport, hello)
+
+    def _adopt(self, transport: SocketTransport, hello: dict) -> None:
+        """Admit an external ``repro-worker`` into the fleet."""
+        with self._lock:
+            if self._closing or not self._started:
+                transport.close()
+                return
+            if self._init_blob is None:
+                self._init_blob = pickle.dumps(
+                    {"op": "init", "llm": self.llm}, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            index = self._next_worker_index
+            self._next_worker_index += 1
+            worker = _Worker(index, transport, proc=None, remote=True)
+            if hello.get("pid") is not None:
+                worker.pid = int(hello["pid"])
+            try:
+                with worker.write_lock:
+                    transport.send_bytes(self._init_blob)
+            except (OSError, ValueError):
+                transport.close()
+                return
+            worker.reader = threading.Thread(
+                target=self._read_loop,
+                args=(worker,),
+                name=f"generation-worker-reader-{index}",
+                daemon=True,
+            )
+            worker.reader.start()
+            self._fleet.append(worker)
+            self._n_spawned += 1
+            self._n_external += 1
+
     def _log_path(self, worker: _Worker) -> str:
+        if worker.remote:
+            return f"remote worker pid={worker.pid} (stderr stays on its host)"
         if self.log_dir is None:
             return "worker stderr"
         return str(self.log_dir / f"worker-{worker.index}.log")
+
+    def _log_tail(self, worker: "_Worker | None", limit: int = 50) -> str:
+        """The last ``limit`` captured stderr lines of ``worker``."""
+        if worker is None or worker.remote or self.log_dir is None:
+            return ""
+        path = self.log_dir / f"worker-{worker.index}.log"
+        try:
+            lines = path.read_text(errors="replace").splitlines()
+        except OSError:
+            return ""
+        return "\n".join(lines[-limit:])
+
+    def _crash_context(self) -> str:
+        """Log forensics appended to the restart-budget-exhausted error."""
+        worker = self._last_dead
+        tail = self._log_tail(worker)
+        if not tail:
+            return ""
+        return (
+            f"; last log lines from worker {worker.index} "
+            f"({self._log_path(worker)}):\n{tail}"
+        )
 
     def _ensure_started(self) -> None:
         with self._lock:
             if self._started:
                 return
             self._closing = False
-            for _ in range(self.workers):
-                self._spawn_worker()
-            self._started = True
+            if self.transport != PIPE_TRANSPORT:
+                self._ensure_listener()
+            self._started = True  # adopts are legal while spawns boot
+            try:
+                for _ in range(self.workers):
+                    self._spawn_worker()
+            except BaseException:
+                self._started = bool(self._fleet)
+                raise
 
     def check_health(self) -> int:
         """Reap exited workers, replace them within budget; alive count.
 
-        Cheap (one ``poll()`` per worker), called before every batch so
-        a worker that died idle is replaced *before* requests are
-        dispatched at it.
+        Cheap (one poll per worker), called before every batch so a
+        worker that died idle is replaced *before* requests are
+        dispatched at it. A remote worker whose heartbeats stopped for
+        ten intervals is presumed dead and retired the same way.
         """
         with self._lock:
             if not self._started:
                 return 0
+            now = time.monotonic()
+            stale_after = 10.0 * self.heartbeat_s if self.heartbeat_s > 0 else None
             for worker in list(self._fleet):
-                if not worker.dead and worker.proc.poll() is not None:
+                if worker.dead:
+                    continue
+                if not worker.alive_probe():
+                    self._retire_worker(worker)
+                elif (
+                    worker.remote
+                    and stale_after is not None
+                    and now - worker.last_seen > stale_after
+                ):
                     self._retire_worker(worker)
             if not self._closing:
                 try:
@@ -462,7 +1067,7 @@ class ProcessBackend:
                     self._pending.pop(request_id, None)
                 continue
             if pending.event.wait(timeout_s) and pending.error is None:
-                responsive.append(worker.proc.pid)
+                responsive.append(worker.pid)
             else:
                 with self._lock:
                     self._pending.pop(request_id, None)
@@ -479,6 +1084,7 @@ class ProcessBackend:
             if not self._started and not self._fleet:
                 # Not merely "not started": a partial startup failure
                 # can leave booted workers behind; tear those down too.
+                self._close_listener()
                 return
             self._closing = True
             fleet = list(self._fleet)
@@ -489,25 +1095,50 @@ class ProcessBackend:
         for worker in fleet:
             with worker.write_lock:
                 try:
-                    send_message(worker.proc.stdin, {"op": "shutdown"})
-                    worker.proc.stdin.close()
+                    worker.transport.send({"op": "shutdown"})
                 except (OSError, ValueError):
                     pass
+                worker.transport.begin_shutdown()
         deadline = time.monotonic() + self.shutdown_timeout_s
         for worker in fleet:
-            try:
-                worker.proc.wait(timeout=max(0.0, deadline - time.monotonic()))
-            except subprocess.TimeoutExpired:
-                worker.proc.kill()
-                worker.proc.wait()
+            if worker.proc is not None:
+                try:
+                    worker.proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    worker.proc.kill()
+                    worker.proc.wait()
+            worker.transport.close()
             if worker.reader is not None:
                 worker.reader.join(timeout=5)
             if worker.log_handle is not None:
                 worker.log_handle.close()
+        self._close_listener()
         with self._lock:
             self._fleet = []
             self._started = False
             self._closing = False
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        acceptor, self._acceptor = self._acceptor, None
+        address, self._listen_address = self._listen_address, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if acceptor is not None:
+            acceptor.join(timeout=5)
+        # A unix socket leaves its filesystem node behind; sweep it (and
+        # the temp directory we made for it) best-effort.
+        if address is not None and address.startswith(f"{UNIX_TRANSPORT}:"):
+            path = Path(parse_address(address)[1])
+            try:
+                path.unlink(missing_ok=True)
+                if self._address_arg is None:
+                    path.parent.rmdir()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -539,32 +1170,74 @@ class ProcessBackend:
         self._dispatch(pending)
         return pending
 
+    def _pick_worker(self, fleet: "list[_Worker]") -> _Worker:
+        """Latency-aware scheduling: least expected completion time.
+
+        Each worker's cost is its latency EWMA scaled by queue depth, so
+        a slow (or far away) worker gets proportionally less traffic.
+        Workers with no sample yet cost zero — ties (including the whole
+        cold fleet) rotate round-robin so startup still spreads load.
+        """
+        self._rr += 1
+
+        def cost(worker: _Worker) -> tuple:
+            ewma = worker.ewma_s if worker.ewma_s is not None else 0.0
+            return (ewma * (worker.inflight + 1), worker.inflight)
+
+        best = min(cost(worker) for worker in fleet)
+        candidates = [worker for worker in fleet if cost(worker) == best]
+        return candidates[self._rr % len(candidates)]
+
+    def _wait_for_join(self, deadline: float) -> bool:
+        """Accept-only mode: block (unlocked) until a worker connects."""
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._closing or self._alive():
+                    return True
+            time.sleep(0.05)
+        return False
+
     def _dispatch(self, pending: _Pending) -> None:
         """Assign ``pending`` to an alive worker and send it (or fail it)."""
+        join_deadline = time.monotonic() + self.startup_timeout_s
         while True:
             with self._lock:
                 if self._closing:
                     pending.resolve(error=WorkerCrashError("ProcessBackend closed"))
                     return
                 fleet = self._alive()
-                if not fleet:
+                if not fleet and self.workers > 0:
                     try:
                         fleet = [self._replace_worker()]
                     except WorkerCrashError as exc:
                         pending.resolve(error=exc)
                         return
-                worker = fleet[self._rr % len(fleet)]
-                self._rr += 1
-                pending.worker = worker
-                request_id = self._next_id
-                self._next_id += 1
-                self._pending[request_id] = pending
+                if fleet:
+                    worker = self._pick_worker(fleet)
+                    pending.worker = worker
+                    pending.sent_at = time.monotonic()
+                    worker.inflight += 1
+                    request_id = self._next_id
+                    self._next_id += 1
+                    self._pending[request_id] = pending
+            if not fleet:
+                # Accept-only supervisor (workers=0): wait for a remote
+                # worker to join rather than failing instantly.
+                if self._wait_for_join(join_deadline):
+                    continue
+                pending.resolve(
+                    error=WorkerCrashError(
+                        f"no workers joined {self.address} within "
+                        f"{self.startup_timeout_s}s"
+                    )
+                )
+                return
             if self._send(
                 worker, {"op": "generate", "id": request_id, "request": pending.request}
             ):
                 return
-            # The pipe broke under us: recovery requeues everything that
-            # was assigned to this worker — including this request,
+            # The channel broke under us: recovery requeues everything
+            # that was assigned to this worker — including this request,
             # unless a racing recovery pass already moved it elsewhere.
             self._retire_worker(worker)
             with self._lock:
@@ -574,7 +1247,7 @@ class ProcessBackend:
     def _send(self, worker: _Worker, message: dict) -> bool:
         with worker.write_lock:
             try:
-                send_message(worker.proc.stdin, message)
+                worker.transport.send(message)
                 return True
             except (OSError, ValueError):
                 return False
@@ -582,7 +1255,8 @@ class ProcessBackend:
     def _replace_worker(self) -> _Worker:  # caller holds self._lock
         if self._n_restarts >= self.max_restarts:
             raise WorkerCrashError(
-                f"workers kept dying: restart budget ({self.max_restarts}) exhausted"
+                f"workers kept dying: restart budget ({self.max_restarts}) "
+                f"exhausted{self._crash_context()}"
             )
         self._n_restarts += 1
         return self._spawn_worker()
@@ -590,22 +1264,22 @@ class ProcessBackend:
     # -- the reader threads --------------------------------------------------
 
     def _read_loop(self, worker: _Worker) -> None:
-        stream = worker.proc.stdout
         while True:
-            try:
-                message = recv_message(stream)
-            except Exception:  # torn pickle == dying worker
-                message = None
+            message = worker.transport.recv()
             if message is None:
                 break
+            worker.last_seen = time.monotonic()
             op = message.get("op")
             if op == "ready":
                 worker.ready.set()
+            elif op == "heartbeat":
+                with self._lock:
+                    self._n_heartbeats += 1
             elif op in ("result", "error", "pong"):
-                self._resolve(message)
+                self._resolve(message, worker)
         self._retire_worker(worker)
 
-    def _resolve(self, message: dict) -> None:
+    def _resolve(self, message: dict, worker: _Worker) -> None:
         with self._lock:
             pending = self._pending.pop(message["id"], None)
             if pending is None:
@@ -617,6 +1291,15 @@ class ProcessBackend:
                     # ping timeout are just slow workers, not dups.
                     self._n_duplicate_results += 1
                 return
+            if pending.worker is worker:
+                worker.inflight = max(0, worker.inflight - 1)
+            if message["op"] in ("result", "error") and pending.sent_at is not None:
+                latency = time.monotonic() - pending.sent_at
+                worker.ewma_s = (
+                    latency
+                    if worker.ewma_s is None
+                    else (1 - _EWMA_ALPHA) * worker.ewma_s + _EWMA_ALPHA * latency
+                )
         if message["op"] == "error":
             pending.resolve(error=WorkerError(message["error"]))
         elif message["op"] == "pong":
@@ -629,14 +1312,15 @@ class ProcessBackend:
     def _retire_worker(self, worker: _Worker) -> None:
         """Mark a worker dead and requeue its in-flight requests.
 
-        Runs on reader threads, dispatchers that hit a broken pipe and
-        ``check_health`` — idempotent under the supervisor lock, so the
-        racing paths agree on exactly one recovery pass.
+        Runs on reader threads, dispatchers that hit a broken channel
+        and ``check_health`` — idempotent under the supervisor lock, so
+        the racing paths agree on exactly one recovery pass.
         """
         with self._lock:
             if worker.dead:
                 return
             worker.dead = True
+            self._last_dead = worker
             closing = self._closing
             orphaned = [
                 (request_id, pending)
@@ -654,8 +1338,9 @@ class ProcessBackend:
                     # orphans: dispatch below still tries the survivors
                     # (and fails each request cleanly if none remain).
                     pass
-        if worker.proc.poll() is None:  # broken pipe but still running
-            worker.proc.kill()
+        if worker.proc is not None and worker.proc.poll() is None:
+            worker.proc.kill()  # broken channel but still running
+        worker.transport.kill()
         for _request_id, pending in orphaned:
             if closing or pending.request is None:  # pings don't requeue
                 pending.resolve(error=WorkerCrashError("worker died"))
@@ -672,7 +1357,8 @@ class ProcessBackend:
             self._dispatch(pending)
 
     # Pickled as configuration only, like the async backend: a clone in
-    # another process spawns its own fleet on first use.
+    # another process spawns its own fleet (and, if the log dir was
+    # defaulted, its own temp log dir) on first use.
     def __getstate__(self) -> dict:
         return {
             "llm": self.llm,
@@ -680,7 +1366,10 @@ class ProcessBackend:
             "max_restarts": self.max_restarts,
             "startup_timeout_s": self.startup_timeout_s,
             "shutdown_timeout_s": self.shutdown_timeout_s,
-            "log_dir": str(self.log_dir) if self.log_dir is not None else None,
+            "log_dir": str(self._log_dir_arg) if self._log_dir_arg is not None else None,
+            "transport": self.transport,
+            "address": self._address_arg,
+            "heartbeat_s": self.heartbeat_s,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -688,4 +1377,4 @@ class ProcessBackend:
 
 
 if __name__ == "__main__":  # pragma: no cover - the worker entry point
-    sys.exit(worker_main())
+    sys.exit(main_worker())

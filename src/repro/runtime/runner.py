@@ -105,6 +105,12 @@ class BatchRunner:
         """Order-preserving map through this runner's worker pool."""
         return self.pool.map_ordered(fn, items)
 
+    def fingerprint(self, mode: str, surrogate=None, human=None) -> str:
+        """The public run fingerprint (artifact keys are
+        ``f"{fingerprint}:{instance_key}"``). The serving tier uses this
+        to emit records byte-identical to offline artifacts."""
+        return self._run_fingerprint(mode, surrogate, human)
+
     def _run_fingerprint(self, mode: str, surrogate, human) -> str:
         """A digest of everything outcome-affecting besides the instance.
 

@@ -1,0 +1,491 @@
+"""``repro-serve``: the online serving tier over the generation runtime.
+
+The paper frames reliable text-to-SQL as an *online, per-request*
+property: a query arrives, the linker answers or abstains, and the
+decision ships with its diagnostics. Everything below the HTTP surface
+already exists offline — this module adds the thin, faithful front end:
+
+* ``POST /v1/query`` — question (or example id) + schema context → SQL
+  or an abstention, with probe scores, the cache tier that served the
+  generation, and latency diagnostics. Every request routes through the
+  same fitted :class:`~repro.core.pipeline.RTSPipeline` and
+  :class:`~repro.runtime.service.GenerationService` as the offline
+  drivers, and the embedded ``record`` (including its artifact key) is
+  byte-identical to the line ``repro-run --artifact`` would write for
+  the same example — the CI ``serve-smoke`` job compares them verbatim.
+* ``GET /healthz`` — liveness plus fleet summary.
+* ``GET /v1/stats`` — per-tier cache :class:`~repro.runtime.cache.
+  CacheStats`, and, on the process backend,
+  :class:`~repro.runtime.remote.SupervisorStats` with per-worker
+  scheduling state.
+
+The server is stdlib ``http.server`` (``ThreadingHTTPServer``) — no new
+dependencies. Concurrency is safe because ``RTSPipeline.link`` already
+runs under thread pools offline, and determinism makes answer bytes
+independent of request interleaving. With ``--backend process
+--transport unix|tcp`` the generations execute on socket workers that
+may live on other machines (``repro-worker --connect`` joins the fleet
+at any time); a worker SIGKILLed mid-request delays the response but
+never changes or loses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.config import ABSTAIN, HUMAN, MITIGATION_MODES, SURROGATE
+from repro.core.pipeline import RTSPipeline
+from repro.corpus.generator import CorpusScale
+from repro.experiments.common import ExperimentContext
+from repro.runtime.artifacts import joint_record, link_record, strict_jsonable
+from repro.runtime.cache import instance_key
+from repro.runtime.service import FREE, PROCESS, BackendSpec, GenerationRequest
+from repro.sqlgen.generator import SqlGenerator
+from repro.sqlgen.profiles import CHESS, CODES_15B, DEEPSEEK_7B
+
+__all__ = [
+    "ApiError",
+    "ServeApp",
+    "ReproServer",
+    "build_serve_parser",
+    "main_serve",
+]
+
+TASKS = ("table", "column", "joint")
+BENCHMARKS = ("bird", "spider")
+SCALES = ("tiny", "small")
+SQL_PROFILES = {p.name: p for p in (DEEPSEEK_7B, CODES_15B, CHESS)}
+
+# Request bodies are tiny JSON objects; anything bigger is a bad client.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ApiError(Exception):
+    """An HTTP-mappable request failure."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeApp:
+    """The request handlers behind the HTTP surface (transport-free).
+
+    Holds one :class:`~repro.experiments.common.ExperimentContext` —
+    benchmarks, fitted pipelines, the generation service — shared by
+    every request thread, plus the per-process serving counters. All
+    pipeline state is fitted once in :meth:`warm` (before the server
+    accepts traffic), so request handling is read-only apart from the
+    generation cache, which is already thread-safe.
+    """
+
+    def __init__(
+        self,
+        ctx: ExperimentContext,
+        benchmarks: "tuple[str, ...]" = ("bird",),
+        sql_profile=CHESS,
+        sql_seed: int = 21,
+    ):
+        self.ctx = ctx
+        self.benchmarks = tuple(benchmarks)
+        self.sql_generator = SqlGenerator(sql_profile, seed=sql_seed)
+        self._started_at = time.monotonic()
+        self._counter_lock = threading.Lock()
+        self._n_queries = 0
+        self._n_abstained = 0
+        self._n_errors = 0
+        self._by_question: "dict[tuple[str, str], str]" = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def warm(self) -> None:
+        """Fit every pipeline and index questions before taking traffic.
+
+        Fitting triggers the first generations, which also boots the
+        backend (spawning / accepting workers on the process backend) —
+        the ready line only prints once all of this has succeeded.
+        """
+        for name in self.benchmarks:
+            bench = self.ctx.benchmark(name)
+            self.ctx.pipeline(name)
+            for split_name in ("train", "dev", "test"):
+                for example in bench.split(split_name):
+                    self._by_question.setdefault(
+                        (name, example.question), example.example_id
+                    )
+
+    @property
+    def backend(self):
+        return self.ctx.service.backend
+
+    # -- GET endpoints -------------------------------------------------------
+
+    def health(self) -> dict:
+        pids = getattr(self.backend, "worker_pids", None)
+        payload = {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "benchmarks": list(self.benchmarks),
+            "backend": type(self.backend).__name__,
+        }
+        if callable(pids):
+            payload["workers_alive"] = len(pids())
+        return payload
+
+    def stats(self) -> dict:
+        service = self.ctx.service
+        with self._counter_lock:
+            requests = {
+                "n_queries": self._n_queries,
+                "n_abstained": self._n_abstained,
+                "n_errors": self._n_errors,
+            }
+        payload = {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": requests,
+            "cache": service.stats.as_dict(),
+            "tiers": {
+                name: stats.as_dict() for name, stats in service.tier_stats.items()
+            },
+            "namespace": service.namespace(),
+        }
+        backend = self.backend
+        supervisor = getattr(backend, "stats", None)
+        if supervisor is not None and hasattr(supervisor, "as_dict"):
+            payload["supervisor"] = supervisor.as_dict()
+            payload["workers"] = backend.worker_snapshot()
+            payload["worker_pids"] = backend.worker_pids()
+            payload["worker_address"] = backend.address
+        return payload
+
+    # -- POST /v1/query ------------------------------------------------------
+
+    def query(self, payload: dict) -> dict:
+        t0 = time.perf_counter()
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        name = payload.get("benchmark", self.benchmarks[0])
+        if name not in self.benchmarks:
+            raise ApiError(
+                404, f"benchmark {name!r} not served (have {list(self.benchmarks)})"
+            )
+        task = payload.get("task", "table")
+        if task not in TASKS:
+            raise ApiError(400, f"unknown task {task!r}; pick from {TASKS}")
+        mode = payload.get("mode", ABSTAIN)
+        if mode not in MITIGATION_MODES:
+            raise ApiError(
+                400, f"unknown mode {mode!r}; pick from {sorted(MITIGATION_MODES)}"
+            )
+        example = self._resolve_example(name, payload)
+        bench = self.ctx.benchmark(name)
+        pipeline = self.ctx.pipeline(name)
+        runner = self.ctx.runner(name)
+        surrogate = self.ctx.surrogate(name) if mode == SURROGATE else None
+        human = self.ctx.human() if mode == HUMAN else None
+        fingerprint = runner.fingerprint(mode, surrogate, human)
+        # Tier diagnostics peek *before* evaluation (stats-free): after
+        # the request, the generation is in L1 by definition.
+        probe_task = "table" if task == "joint" else task
+        peek_instance = RTSPipeline.instance_for(example, bench, probe_task)
+        cache_tier = self.ctx.service.peek_tier(
+            GenerationRequest(FREE, peek_instance)
+        )
+        if task == "joint":
+            outcome = pipeline.link_joint(
+                example, bench, mode=mode, surrogate=surrogate, human=human
+            )
+            record = dict(
+                joint_record(outcome), key=f"{fingerprint}:{example.example_id}"
+            )
+            abstained = outcome.abstained
+            answered_tables = outcome.tables
+            answered_columns = self._group_columns(outcome.columns)
+            probe = {
+                "signalled": outcome.signalled,
+                "table_mean_auc": pipeline.mbpp("table").mean_auc,
+                "column_mean_auc": pipeline.mbpp("column").mean_auc,
+            }
+        else:
+            instance = peek_instance
+            outcome = pipeline.link(
+                instance, mode=mode, surrogate=surrogate, human=human
+            )
+            record = dict(
+                link_record(outcome), key=f"{fingerprint}:{instance_key(instance)}"
+            )
+            abstained = outcome.abstained
+            if task == "table":
+                answered_tables = outcome.predicted
+                answered_columns = None
+            else:
+                answered_columns = self._group_columns(outcome.predicted)
+                answered_tables = (
+                    tuple(answered_columns) if answered_columns is not None else None
+                )
+            mbpp = pipeline.mbpp(task)
+            probe = {
+                "flags": outcome.flags,
+                "questions_asked": outcome.questions_asked,
+                "interventions": outcome.interventions,
+                "signalled": outcome.signalled,
+                "mean_auc": mbpp.mean_auc,
+                "layer_aucs": list(mbpp.aucs),
+            }
+        sql = None
+        if answered_tables is not None:
+            provided = bench.database(example.db_id).schema.subset(
+                list(answered_tables), answered_columns
+            )
+            sql = self.sql_generator.generate(example, provided)
+        with self._counter_lock:
+            self._n_queries += 1
+            if abstained:
+                self._n_abstained += 1
+        return {
+            "benchmark": name,
+            "example_id": example.example_id,
+            "question": example.question,
+            "task": task,
+            "mode": mode,
+            "abstained": abstained,
+            "sql": sql,
+            "record": record,
+            "probe": probe,
+            "diagnostics": {
+                "cache_tier": cache_tier,
+                "latency_ms": round((time.perf_counter() - t0) * 1000.0, 3),
+                "namespace": self.ctx.service.namespace(),
+            },
+        }
+
+    def _resolve_example(self, name: str, payload: dict):
+        bench = self.ctx.benchmark(name)
+        example_id = payload.get("example_id")
+        if example_id is None:
+            question = payload.get("question")
+            if question is None:
+                raise ApiError(400, "pass an example_id or a question")
+            example_id = self._by_question.get((name, question))
+            if example_id is None:
+                raise ApiError(404, f"no {name} example asks {question!r}")
+        for split_name in ("train", "dev", "test"):
+            for example in bench.split(split_name):
+                if example.example_id == example_id:
+                    return example
+        raise ApiError(404, f"no {name} example with id {example_id!r}")
+
+    @staticmethod
+    def _group_columns(items) -> "dict[str, list[str]] | None":
+        """Qualified ``table.column`` items → the subset() columns map."""
+        if items is None:
+            return None
+        grouped: "dict[str, list[str]]" = {}
+        for item in items:
+            table, _, column = item.partition(".")
+            grouped.setdefault(table, []).append(column)
+        return grouped
+
+    def count_error(self) -> None:
+        with self._counter_lock:
+            self._n_errors += 1
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app
+
+    def log_message(self, format: str, *args) -> None:
+        print(
+            f"repro-serve: {self.address_string()} {format % args}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(strict_jsonable(payload), sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, self.app.health())
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.app.stats())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/query":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            if not 0 < length <= MAX_BODY_BYTES:
+                raise ApiError(400, "request body required (JSON, <= 1 MiB)")
+            try:
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ApiError(400, f"malformed JSON body: {exc}") from exc
+            self._send_json(200, self.app.query(payload))
+        except ApiError as exc:
+            self.app.count_error()
+            self._send_json(exc.status, {"error": str(exc)})
+        except Exception:
+            self.app.count_error()
+            traceback.print_exc(file=sys.stderr)
+            self._send_json(500, {"error": "internal error (see server log)"})
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One serving process: threaded HTTP over a shared :class:`ServeApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: "tuple[str, int]", app: ServeApp):
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+SERVE_EPILOG = """\
+examples:
+  # serve bird on an ephemeral port, generations on two unix-socket
+  # workers (the ready line on stdout reports the bound port)
+  repro-serve --benchmark bird --scale tiny --backend process \\
+      --transport unix --gen-workers 2 --cache-dir out/gen
+
+  # accept-only supervisor over TCP: workers join from other machines
+  repro-serve --backend process --transport tcp \\
+      --address tcp:0.0.0.0:7431 --gen-workers 0 &
+  repro-worker --connect tcp:10.0.0.5:7431   # on each worker machine
+
+  # query it
+  curl -s localhost:8000/v1/query -d '{"benchmark": "bird",
+      "example_id": "bird-dev-0", "task": "table", "mode": "abstain"}'
+  curl -s localhost:8000/healthz
+  curl -s localhost:8000/v1/stats
+
+Answers are byte-identical to the offline drivers: the "record" field
+of a /v1/query response equals the line repro-run --artifact writes for
+the same (benchmark, example, task, mode) — same key, same bytes.
+"""
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Online text-to-SQL serving with adaptive abstention, "
+        "over the shared generation runtime.",
+        epilog=SERVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    parser.add_argument(
+        "--benchmark",
+        nargs="+",
+        choices=BENCHMARKS,
+        default=["bird"],
+        help="benchmarks to fit and serve",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="small",
+        help="synthetic corpus scale (tiny is the test/CI size)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="default worker count for the generation backend "
+        "(--gen-workers overrides)",
+    )
+    BackendSpec.add_arguments(parser, defaults=BackendSpec(workers=2))
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent generation cache shared with the offline drivers "
+        "(default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--sql-profile",
+        choices=sorted(SQL_PROFILES),
+        default=CHESS.name,
+        help="downstream text-to-SQL generator profile",
+    )
+    parser.add_argument("--sql-seed", type=int, default=21)
+    parser.add_argument("--corpus-seed", type=int, default=7)
+    parser.add_argument("--llm-seed", type=int, default=11)
+    parser.add_argument("--rts-seed", type=int, default=3)
+    return parser
+
+
+def main_serve(argv: "list[str] | None" = None) -> int:
+    import os
+
+    args = build_serve_parser().parse_args(argv)
+    spec = BackendSpec.from_args(args, workers=args.workers)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    scale = CorpusScale.tiny() if args.scale == "tiny" else CorpusScale.small()
+    ctx = ExperimentContext(
+        corpus_seed=args.corpus_seed,
+        llm_seed=args.llm_seed,
+        rts_seed=args.rts_seed,
+        scale=scale,
+        workers=max(1, args.workers),
+        cache_dir=cache_dir,
+        spec=spec,
+    )
+    app = ServeApp(
+        ctx,
+        benchmarks=tuple(args.benchmark),
+        sql_profile=SQL_PROFILES[args.sql_profile],
+        sql_seed=args.sql_seed,
+    )
+    try:
+        app.warm()
+        server = ReproServer((args.host, args.port), app)
+        backend = app.backend
+        ready = {
+            "event": "ready",
+            "host": server.server_address[0],
+            "port": server.server_address[1],
+            "benchmarks": list(app.benchmarks),
+            "backend": spec.kind,
+            "transport": spec.transport if spec.kind == PROCESS else None,
+            "worker_address": getattr(backend, "address", None),
+            "worker_pids": (
+                backend.worker_pids() if hasattr(backend, "worker_pids") else []
+            ),
+        }
+        print(json.dumps(strict_jsonable(ready), sort_keys=True), flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+    finally:
+        ctx.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - the serve entry point
+    sys.exit(main_serve())

@@ -59,9 +59,11 @@ accounting that the warm-run ``misses == 0`` invariants pin down.
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import threading
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.llm.model import SIMULATOR_VERSION, GenerationTrace, TransparentLLM
@@ -83,9 +85,14 @@ __all__ = [
     "ASYNC",
     "PROCESS",
     "GEN_BACKENDS",
+    "PIPE_TRANSPORT",
+    "UNIX_TRANSPORT",
+    "TCP_TRANSPORT",
+    "TRANSPORTS",
     "MEMORY_TIER",
     "SEGMENT_TIER",
     "SQLITE_TIER",
+    "BackendSpec",
     "GenerationRequest",
     "GenerationBackend",
     "SimulatorBackend",
@@ -104,6 +111,14 @@ ASYNC = "async"
 PROCESS = "process"
 GEN_BACKENDS = (SIMULATOR, ASYNC, PROCESS)
 
+# Where process-backend workers live: spawned over stdio pipes, or
+# connected over a listening socket (unix-domain / TCP) that external
+# ``repro-worker`` processes can also join.
+PIPE_TRANSPORT = "pipe"
+UNIX_TRANSPORT = "unix"
+TCP_TRANSPORT = "tcp"
+TRANSPORTS = (PIPE_TRANSPORT, UNIX_TRANSPORT, TCP_TRANSPORT)
+
 MEMORY_TIER = "memory"
 SEGMENT_TIER = "segments"
 SQLITE_TIER = "sqlite"
@@ -120,6 +135,260 @@ def simulator_identity(llm: "TransparentLLM") -> tuple:
     change (e.g. ``hidden-v2``) must land in a fresh namespace.
     """
     return (getattr(llm, "version", SIMULATOR_VERSION), llm.config, llm.seed)
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
+def _nonnegative_float(value: str) -> float:
+    parsed = float(value)
+    if not parsed >= 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """The one description of how generations execute.
+
+    This used to be ~eight keyword arguments copy-pasted (and drifting)
+    across ``GenerationService.build``, ``ExperimentContext``,
+    ``SweepRunner`` and every CLI's argparse block. Now there is one
+    value: build it directly, from parsed CLI arguments
+    (:meth:`from_args` — ``repro-run``, ``repro-sweep``, ``repro-serve``
+    and ``repro-worker`` all register the same flags via
+    :meth:`add_arguments`), or round-trip it (:meth:`to_args` emits the
+    argv fragment that parses back to an equal spec; pickle ships it to
+    shards and workers unchanged).
+
+    Fields beyond ``kind``/``workers`` apply to the backends that read
+    them — microbatching knobs to ``async``, restart/log/transport knobs
+    to ``process`` — and are carried (harmlessly) for the rest, so a
+    spec can be re-targeted by ``replace(spec, kind=...)`` alone.
+    ``workers=0`` is the accept-only process supervisor (socket
+    transports): serve no local workers, wait for external
+    ``repro-worker --connect`` joins.
+    """
+
+    kind: str = SIMULATOR
+    workers: int = 4
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    max_pending: int = 256
+    max_restarts: "int | None" = None
+    worker_log_dir: "str | None" = None
+    transport: str = PIPE_TRANSPORT
+    address: "str | None" = None
+
+    def __post_init__(self):
+        if self.kind not in GEN_BACKENDS:
+            raise ValueError(
+                f"unknown generation backend {self.kind!r}; pick from {GEN_BACKENDS}"
+            )
+        if self.address is not None:
+            prefix = self.address.partition(":")[0]
+            if prefix not in (UNIX_TRANSPORT, TCP_TRANSPORT):
+                raise ValueError(
+                    f"bad worker address {self.address!r}; "
+                    "expected unix:/path or tcp:host:port"
+                )
+            # An address names its transport; let it win over the default.
+            if self.transport != prefix:
+                object.__setattr__(self, "transport", prefix)
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; pick from {TRANSPORTS}"
+            )
+        if self.worker_log_dir is not None:
+            object.__setattr__(self, "worker_log_dir", str(self.worker_log_dir))
+        accept_only = self.kind == PROCESS and self.transport != PIPE_TRANSPORT
+        if self.workers < (0 if accept_only else 1):
+            raise ValueError(
+                "workers must be >= 1 (0 is allowed only for the process "
+                "backend on a socket transport: the accept-only supervisor)"
+            )
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_restarts is not None and self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0 (or None for the default)")
+
+    # -- argparse round-trips ------------------------------------------------
+
+    @classmethod
+    def add_arguments(
+        cls, parser: argparse.ArgumentParser, defaults: "BackendSpec | None" = None
+    ) -> None:
+        """Register the shared generation-backend flags on ``parser``.
+
+        Every CLI that builds a service calls this — one flag vocabulary,
+        one help text, zero drift. ``defaults`` customizes per-CLI
+        defaults without forking the flags.
+        """
+        spec = defaults if defaults is not None else cls()
+        group = parser.add_argument_group("generation backend")
+        group.add_argument(
+            "--backend",
+            choices=GEN_BACKENDS,
+            default=spec.kind,
+            help="generation backend: direct simulator calls, the "
+            "microbatch-coalescing async scheduler, or crash-isolated "
+            "worker processes (byte-identical results on every axis)",
+        )
+        group.add_argument(
+            "--gen-workers",
+            type=_nonnegative_int,
+            default=None,
+            help="backend worker count: concurrent async batches, or process "
+            "workers (0 = accept-only socket supervisor; default: follow "
+            f"--workers, else {spec.workers})",
+        )
+        group.add_argument(
+            "--max-batch",
+            type=_positive_int,
+            default=spec.max_batch,
+            help="async backend: max requests coalesced into one microbatch",
+        )
+        group.add_argument(
+            "--max-wait-ms",
+            type=_nonnegative_float,
+            default=spec.max_wait_ms,
+            help="async backend: max milliseconds a microbatch waits to fill",
+        )
+        group.add_argument(
+            "--max-pending",
+            type=_positive_int,
+            default=spec.max_pending,
+            help="async backend: submission-queue bound (backpressure)",
+        )
+        group.add_argument(
+            "--max-restarts",
+            type=_nonnegative_int,
+            default=spec.max_restarts,
+            help="process backend: total worker restart budget "
+            "(default: 2 x workers)",
+        )
+        group.add_argument(
+            "--worker-log-dir",
+            default=spec.worker_log_dir,
+            help="process backend: directory capturing per-worker stderr logs "
+            "(default: a fresh temp directory)",
+        )
+        group.add_argument(
+            "--transport",
+            choices=TRANSPORTS,
+            default=spec.transport,
+            help="process backend: spawn workers over stdio pipes, or listen "
+            "on a unix/tcp socket that repro-worker processes connect to",
+        )
+        group.add_argument(
+            "--address",
+            default=spec.address,
+            help="process backend: socket listen address (unix:/path or "
+            "tcp:host:port; default: an auto-assigned local address)",
+        )
+
+    @classmethod
+    def from_args(
+        cls, args: argparse.Namespace, workers: "int | None" = None
+    ) -> "BackendSpec":
+        """The spec one parsed CLI invocation describes.
+
+        Backend workers follow ``--gen-workers`` when given, then the
+        ``workers`` override (a CLI whose ``--workers`` means backend
+        workers passes it here), then the namespace's ``workers``
+        attribute, then the dataclass default.
+        """
+        gen_workers = getattr(args, "gen_workers", None)
+        if gen_workers is None:
+            gen_workers = workers
+        if gen_workers is None:
+            gen_workers = getattr(args, "workers", None)
+        spec = cls(
+            kind=getattr(args, "backend", SIMULATOR),
+            max_batch=getattr(args, "max_batch", cls.max_batch),
+            max_wait_ms=getattr(args, "max_wait_ms", cls.max_wait_ms),
+            max_pending=getattr(args, "max_pending", cls.max_pending),
+            max_restarts=getattr(args, "max_restarts", None),
+            worker_log_dir=getattr(args, "worker_log_dir", None),
+            transport=getattr(args, "transport", PIPE_TRANSPORT),
+            address=getattr(args, "address", None),
+        )
+        if gen_workers is not None:
+            spec = replace(spec, workers=int(gen_workers))
+        return spec
+
+    def to_args(self) -> "list[str]":
+        """The argv fragment reproducing this spec (from_args inverse)."""
+        argv = [
+            "--backend",
+            self.kind,
+            "--gen-workers",
+            str(self.workers),
+            "--max-batch",
+            str(self.max_batch),
+            "--max-wait-ms",
+            str(self.max_wait_ms),
+            "--max-pending",
+            str(self.max_pending),
+            "--transport",
+            self.transport,
+        ]
+        if self.max_restarts is not None:
+            argv += ["--max-restarts", str(self.max_restarts)]
+        if self.worker_log_dir is not None:
+            argv += ["--worker-log-dir", self.worker_log_dir]
+        if self.address is not None:
+            argv += ["--address", self.address]
+        return argv
+
+    # -- construction --------------------------------------------------------
+
+    def build(self, llm, **kwargs) -> "GenerationService":
+        """A wired :class:`GenerationService` for ``llm`` (see its build)."""
+        return GenerationService.build(llm, spec=self, **kwargs)
+
+    def make_backend(self, llm: TransparentLLM, pool=None):
+        """Just the backend this spec describes (no cache tiers)."""
+        if self.kind == ASYNC:
+            # Parallelism comes from the scheduler's concurrent batches
+            # alone; a pooled inner backend would multiply into
+            # workers² threads (plus one executor per microbatch).
+            return AsyncBatchedBackend(
+                SimulatorBackend(llm),
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                max_pending=self.max_pending,
+                workers=self.workers,
+            )
+        if self.kind == PROCESS:
+            # Lazy import: remote builds on this module's request types.
+            from repro.runtime.remote import ProcessBackend
+
+            extra = {} if self.max_restarts is None else {"max_restarts": self.max_restarts}
+            return ProcessBackend(
+                llm,
+                workers=self.workers,
+                log_dir=self.worker_log_dir,
+                transport=self.transport,
+                address=self.address,
+                **extra,
+            )
+        return SimulatorBackend(llm, pool=pool)
 
 
 @dataclass(frozen=True)
@@ -511,55 +780,68 @@ class GenerationService:
     def build(
         cls,
         llm: TransparentLLM,
-        gen_backend: str = SIMULATOR,
+        gen_backend: "str | None" = None,
         cache: "GenerationCache | None" = None,
         cache_dir=None,
         pool: "WorkerPool | None" = None,
-        max_batch: int = 8,
-        max_wait_ms: float = 2.0,
-        max_pending: int = 256,
-        workers: int = 4,
+        max_batch: "int | None" = None,
+        max_wait_ms: "float | None" = None,
+        max_pending: "int | None" = None,
+        workers: "int | None" = None,
         use_index: bool = True,
         worker_log_dir=None,
+        spec: "BackendSpec | None" = None,
+        backend: "str | None" = None,
     ) -> "GenerationService":
         """Wire a service for ``llm``: backend choice plus cache tiers.
+
+        The backend configuration is one :class:`BackendSpec` (``spec``).
+        The scattered keyword arguments (``gen_backend``, ``workers``,
+        ``max_batch``, ...) are the pre-spec surface: still accepted,
+        folded into a spec internally, and mutually exclusive with an
+        explicit ``spec``. ``backend=`` is the deprecated spelling of
+        ``gen_backend=`` and warns.
 
         ``cache`` wins over ``cache_dir``; with ``cache_dir`` alone a
         :class:`PersistentGenerationCache` is created in the namespace
         derived from the backend's ``identity()`` — so the simulator,
         async and process backends (same identity) share one store.
-        ``worker_log_dir`` captures per-worker stderr for the process
-        backend (ignored by the in-process backends).
         """
-        if gen_backend not in GEN_BACKENDS:
+        if backend is not None:
+            warnings.warn(
+                "GenerationService.build(backend=...) is deprecated; pass "
+                "spec=BackendSpec(kind=...) (or gen_backend=... for one more "
+                "release)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if gen_backend is not None and gen_backend != backend:
+                raise ValueError("pass gen_backend or backend, not both")
+            gen_backend = backend
+        legacy = {
+            "kind": gen_backend,
+            "workers": workers,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "max_pending": max_pending,
+            "worker_log_dir": worker_log_dir,
+        }
+        overrides = {key: value for key, value in legacy.items() if value is not None}
+        if spec is None:
+            spec = BackendSpec(**overrides)
+        elif overrides:
             raise ValueError(
-                f"unknown generation backend {gen_backend!r}; pick from {GEN_BACKENDS}"
+                "pass backend configuration on the spec, not alongside it: "
+                f"{sorted(overrides)}"
             )
-        if gen_backend == ASYNC:
-            # Parallelism comes from the scheduler's concurrent batches
-            # alone; a pooled inner backend would multiply into
-            # workers² threads (plus one executor per microbatch).
-            backend = AsyncBatchedBackend(
-                SimulatorBackend(llm),
-                max_batch=max_batch,
-                max_wait_ms=max_wait_ms,
-                max_pending=max_pending,
-                workers=workers,
-            )
-        elif gen_backend == PROCESS:
-            # Lazy import: remote builds on this module's request types.
-            from repro.runtime.remote import ProcessBackend
-
-            backend = ProcessBackend(llm, workers=workers, log_dir=worker_log_dir)
-        else:
-            backend = SimulatorBackend(llm, pool=pool)
+        built = spec.make_backend(llm, pool=pool)
         if cache is None and cache_dir is not None:
             cache = PersistentGenerationCache(
                 cache_dir,
-                namespace=generation_namespace(*backend.identity()),
+                namespace=generation_namespace(*built.identity()),
                 use_index=use_index,
             )
-        return cls(backend, cache=cache)
+        return cls(built, cache=cache)
 
     # -- surface -------------------------------------------------------------
 
@@ -643,6 +925,25 @@ class GenerationService:
         return results
 
     # -- tier plumbing -------------------------------------------------------
+
+    def peek_tier(self, request: "GenerationRequest | tuple") -> "str | None":
+        """Which tier would serve ``request`` right now — stats-free.
+
+        Serving uses this for per-request diagnostics (the ``cache_tier``
+        field of a ``/v1/query`` response) *before* the generation runs;
+        it must not perturb ``stats`` / ``tier_stats``, which stay exact
+        cumulative accounting of real lookups. ``None`` means a backend
+        computation would happen.
+        """
+        key = request.key if isinstance(request, GenerationRequest) else request
+        if self.cache.contains(key):
+            return MEMORY_TIER
+        if not self._persistent:
+            return None
+        record, tier = self.cache.probe_disk(self.cache.address(key))
+        if record is None:
+            return None
+        return SQLITE_TIER if tier == SQLITE_TIER else SEGMENT_TIER
 
     def _count(self, tier: str, hit: bool) -> None:
         with self._tier_lock:

@@ -40,7 +40,7 @@ from repro.corpus.generator import CorpusScale
 from repro.runtime.artifacts import strict_jsonable
 from repro.runtime.cache import CacheStats, GenerationCache
 from repro.runtime.pool import THREAD
-from repro.runtime.service import SIMULATOR
+from repro.runtime.service import BackendSpec, SIMULATOR
 
 __all__ = [
     "SCALES",
@@ -206,25 +206,50 @@ class SweepRunner:
         cache_dir: "str | Path | None" = None,
         workers: int = 1,
         pool: str = THREAD,
-        gen_backend: str = SIMULATOR,
-        max_batch: int = 8,
-        max_wait_ms: float = 2.0,
+        gen_backend: "str | None" = None,
+        max_batch: "int | None" = None,
+        max_wait_ms: "float | None" = None,
         worker_log_dir: "str | Path | None" = None,
         progress=None,
+        backend_spec: "BackendSpec | None" = None,
     ):
         self.spec = spec
         self.out_dir = Path(out_dir)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
         self.pool = pool
-        self.gen_backend = gen_backend
-        self.max_batch = max_batch
-        self.max_wait_ms = max_wait_ms
-        self.worker_log_dir = worker_log_dir
+        # One BackendSpec describes the generation backend; the loose
+        # keyword arguments are the pre-spec surface, folded in here.
+        if backend_spec is None:
+            overrides = {
+                "kind": gen_backend,
+                "workers": max(1, workers),
+                "max_batch": max_batch,
+                "max_wait_ms": max_wait_ms,
+                "worker_log_dir": (
+                    str(worker_log_dir) if worker_log_dir is not None else None
+                ),
+            }
+            backend_spec = BackendSpec(
+                **{key: value for key, value in overrides.items() if value is not None}
+            )
+        elif any(
+            value is not None
+            for value in (gen_backend, max_batch, max_wait_ms, worker_log_dir)
+        ):
+            raise ValueError(
+                "pass backend configuration on the backend_spec, not alongside it"
+            )
+        self.backend_spec = backend_spec
         self.progress = progress
         self._contexts: dict = {}
         self._cache: "GenerationCache | None" = None
         self._service = None
+
+    @property
+    def gen_backend(self) -> str:
+        """Back-compat alias for ``backend_spec.kind`` (pre-spec surface)."""
+        return self.backend_spec.kind
 
     # -- shared state --------------------------------------------------------
 
@@ -250,10 +275,7 @@ class SweepRunner:
                 workers=self.workers,
                 backend=self.pool,
                 cache_dir=self.cache_dir,
-                gen_backend=self.gen_backend,
-                max_batch=self.max_batch,
-                max_wait_ms=self.max_wait_ms,
-                worker_log_dir=self.worker_log_dir,
+                spec=self.backend_spec,
                 service=self._service,
             )
             if self._service is None:

@@ -1,0 +1,253 @@
+"""Tests for the unified :class:`BackendSpec` configuration surface.
+
+Pins down the api_redesign guarantees:
+
+* one spec value describes every backend — validation happens at
+  construction, an address names (and wins over) its transport, and the
+  accept-only ``workers=0`` form is legal only where it means something;
+* the CLI round-trip is exact: ``to_args`` emits an argv fragment that
+  parses back (through the shared ``add_arguments`` flags) to an equal
+  spec, for *any* valid spec (property-based), and pickling a spec is
+  the identity;
+* ``from_args`` resolves the worker count through the documented
+  fallback chain (``--gen-workers`` → explicit override → ``workers``
+  attribute → dataclass default);
+* the deprecation shims: ``GenerationService.build(backend=...)`` warns
+  but still works, the legacy keyword surface folds into a spec
+  silently, and mixing an explicit spec with legacy keywords is an
+  error everywhere that accepts both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.common import ExperimentContext
+from repro.llm.model import TransparentLLM
+from repro.runtime.service import (
+    ASYNC,
+    GEN_BACKENDS,
+    PIPE_TRANSPORT,
+    PROCESS,
+    SIMULATOR,
+    TCP_TRANSPORT,
+    TRANSPORTS,
+    UNIX_TRANSPORT,
+    AsyncBatchedBackend,
+    BackendSpec,
+    GenerationService,
+    SimulatorBackend,
+)
+from repro.runtime.sweep import SweepRunner, SweepSpec
+
+SWEEP = SweepSpec(
+    benchmarks=("bird",),
+    splits=("dev",),
+    tasks=("table",),
+    modes=("abstain",),
+    seeds=(3,),
+    scale="tiny",
+    limit=2,
+)
+
+
+def parse(argv: "list[str]", defaults: "BackendSpec | None" = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser()
+    BackendSpec.add_arguments(parser, defaults=defaults)
+    return parser.parse_args(argv)
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def test_defaults_are_a_valid_simulator_spec():
+    spec = BackendSpec()
+    assert spec.kind == SIMULATOR
+    assert spec.transport == PIPE_TRANSPORT
+    assert spec.workers >= 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "llama.cpp"},
+        {"transport": "carrier-pigeon"},
+        {"address": "ipx:whatever"},
+        {"workers": 0},  # accept-only needs process + socket
+        {"kind": PROCESS, "workers": 0},  # pipe transport still spawns
+        {"kind": PROCESS, "transport": UNIX_TRANSPORT, "workers": -1},
+        {"max_batch": 0},
+        {"max_wait_ms": -1.0},
+        {"max_pending": 0},
+        {"max_restarts": -1},
+    ],
+)
+def test_invalid_specs_fail_at_construction(kwargs):
+    with pytest.raises(ValueError):
+        BackendSpec(**kwargs)
+
+
+def test_accept_only_socket_supervisor_is_legal():
+    spec = BackendSpec(kind=PROCESS, transport=UNIX_TRANSPORT, workers=0)
+    assert spec.workers == 0
+
+
+def test_address_names_and_wins_over_the_transport():
+    spec = BackendSpec(kind=PROCESS, address="tcp:127.0.0.1:7431")
+    assert spec.transport == TCP_TRANSPORT
+    unix = BackendSpec(
+        kind=PROCESS, transport=TCP_TRANSPORT, address="unix:/tmp/sup.sock"
+    )
+    assert unix.transport == UNIX_TRANSPORT
+
+
+def test_worker_log_dir_coerces_to_str(tmp_path):
+    spec = BackendSpec(worker_log_dir=tmp_path)
+    assert spec.worker_log_dir == str(tmp_path)
+
+
+# -- round-trips --------------------------------------------------------------
+
+addresses = st.one_of(
+    st.none(),
+    st.just("unix:/tmp/repro-sup/supervisor.sock"),
+    st.just("tcp:127.0.0.1:7431"),
+    st.just("tcp:0.0.0.0:9000"),
+)
+
+
+@st.composite
+def specs(draw) -> BackendSpec:
+    kind = draw(st.sampled_from(GEN_BACKENDS))
+    transport = draw(st.sampled_from(TRANSPORTS)) if kind == PROCESS else PIPE_TRANSPORT
+    address = draw(addresses) if kind == PROCESS else None
+    accept_only = kind == PROCESS and (
+        transport != PIPE_TRANSPORT or (address is not None)
+    )
+    return BackendSpec(
+        kind=kind,
+        workers=draw(st.integers(0 if accept_only else 1, 8)),
+        max_batch=draw(st.integers(1, 32)),
+        max_wait_ms=float(draw(st.integers(0, 50))),
+        max_pending=draw(st.integers(1, 512)),
+        max_restarts=draw(st.one_of(st.none(), st.integers(0, 9))),
+        worker_log_dir=draw(st.one_of(st.none(), st.just("out/worker-logs"))),
+        transport=transport,
+        address=address,
+    )
+
+
+@given(spec=specs())
+@settings(max_examples=150, deadline=None)
+def test_cli_round_trip_is_exact(spec):
+    """to_args → add_arguments/parse → from_args reproduces any spec."""
+    assert BackendSpec.from_args(parse(spec.to_args())) == spec
+
+
+@given(spec=specs())
+@settings(max_examples=50, deadline=None)
+def test_pickle_round_trip_is_exact(spec):
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_from_args_worker_fallback_chain():
+    # --gen-workers wins outright.
+    args = parse(["--gen-workers", "7"])
+    args.workers = 3
+    assert BackendSpec.from_args(args, workers=5).workers == 7
+    # Then the explicit override a CLI passes.
+    args = parse([])
+    args.workers = 3
+    assert BackendSpec.from_args(args, workers=5).workers == 5
+    # Then the namespace's own workers attribute.
+    assert BackendSpec.from_args(args).workers == 3
+    # Then the dataclass default.
+    assert BackendSpec.from_args(parse([])).workers == BackendSpec.workers
+
+
+def test_add_arguments_defaults_customize_without_forking_flags():
+    args = parse([], defaults=BackendSpec(kind=ASYNC, max_batch=16))
+    spec = BackendSpec.from_args(args)
+    assert spec.kind == ASYNC
+    assert spec.max_batch == 16
+    # Worker counts resolve through from_args' fallback chain instead
+    # (CLIs pass their own --workers), so defaults=... leaves them alone.
+    assert spec.workers == BackendSpec.workers
+
+
+# -- construction -------------------------------------------------------------
+
+
+def test_make_backend_dispatches_on_kind():
+    llm = TransparentLLM(seed=11)
+    assert isinstance(BackendSpec().make_backend(llm), SimulatorBackend)
+    backend = BackendSpec(kind=ASYNC, max_batch=4, workers=2).make_backend(llm)
+    assert isinstance(backend, AsyncBatchedBackend)
+    assert backend.max_batch == 4 and backend.workers == 2
+    from repro.runtime.remote import ProcessBackend
+
+    process = BackendSpec(
+        kind=PROCESS, workers=1, transport=UNIX_TRANSPORT, max_restarts=3
+    ).make_backend(llm)
+    assert isinstance(process, ProcessBackend)
+    assert process.transport == UNIX_TRANSPORT
+    assert process.max_restarts == 3
+    process.close()
+
+
+def test_spec_build_wires_a_service():
+    with BackendSpec().build(TransparentLLM(seed=11)) as service:
+        assert isinstance(service, GenerationService)
+        assert isinstance(service.backend, SimulatorBackend)
+
+
+# -- deprecation shims --------------------------------------------------------
+
+
+def test_build_backend_kwarg_warns_but_works():
+    with pytest.warns(DeprecationWarning, match="backend=.*deprecated"):
+        service = GenerationService.build(TransparentLLM(seed=11), backend=ASYNC)
+    with service:
+        assert isinstance(service.backend, AsyncBatchedBackend)
+
+
+def test_build_legacy_kwargs_fold_into_a_spec_silently(recwarn):
+    service = GenerationService.build(
+        TransparentLLM(seed=11), gen_backend=ASYNC, max_batch=4, workers=2
+    )
+    with service:
+        assert isinstance(service.backend, AsyncBatchedBackend)
+        assert service.backend.max_batch == 4
+    assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+
+def test_build_rejects_spec_plus_legacy_kwargs():
+    with pytest.raises(ValueError, match="not alongside"):
+        GenerationService.build(
+            TransparentLLM(seed=11), spec=BackendSpec(), gen_backend=ASYNC
+        )
+
+
+def test_experiment_context_rejects_spec_plus_legacy_kwargs():
+    with pytest.raises(ValueError, match="not alongside"):
+        ExperimentContext.tiny(spec=BackendSpec(), gen_backend=ASYNC)
+
+
+def test_experiment_context_folds_legacy_kwargs_and_aliases_gen_backend():
+    with ExperimentContext.tiny(gen_backend=ASYNC, max_batch=4) as ctx:
+        assert ctx.spec.kind == ASYNC
+        assert ctx.spec.max_batch == 4
+        assert ctx.gen_backend == ASYNC  # the pre-spec read surface
+
+
+def test_sweep_runner_accepts_a_spec_and_aliases_gen_backend(tmp_path):
+    runner = SweepRunner(
+        SWEEP, tmp_path, backend_spec=BackendSpec(kind=ASYNC, max_batch=4)
+    )
+    assert runner.gen_backend == ASYNC
+    with pytest.raises(ValueError, match="not alongside"):
+        SweepRunner(SWEEP, tmp_path, backend_spec=BackendSpec(), gen_backend=ASYNC)

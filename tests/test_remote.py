@@ -338,6 +338,115 @@ def test_process_backend_pickles_as_configuration(table_instances):
         assert_traces_equal(clone.generate([request])[0], trace)
 
 
+# -- socket transports --------------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", ["unix", "tcp"])
+def test_socket_transport_bit_identical_to_simulator(reference_traces, transport):
+    """Generations over socket workers are the same bytes as in-process,
+    and the supervisor observes per-worker latency for scheduling."""
+    requests, reference = reference_traces
+    llm = TransparentLLM(seed=11)
+    with ProcessBackend(llm, workers=2, transport=transport) as backend:
+        traces = backend.generate(requests)
+        assert backend.address is not None
+        assert backend.address.startswith(f"{transport}:")
+        snapshot = backend.worker_snapshot()
+        stats = backend.stats
+    assert len(traces) == len(reference)
+    for a, b in zip(reference, traces):
+        assert_traces_equal(a, b)
+    assert stats.transport == transport
+    assert len(snapshot) == 2
+    assert any(entry["ewma_ms"] is not None for entry in snapshot)
+
+
+def test_socket_sigkill_one_worker_mid_batch_loses_nothing(
+    reference_traces, monkeypatch
+):
+    """The pipe-transport kill invariant holds across sockets: a worker
+    SIGKILLed mid-batch disconnects, is replaced, its in-flight requests
+    requeue, and the batch completes bit-identically."""
+    requests, reference = reference_traces
+    monkeypatch.setenv(CHAOS_DELAY_ENV, "40")
+    with ProcessBackend(
+        TransparentLLM(seed=11), workers=2, transport="unix"
+    ) as backend:
+        assert len(backend.ping()) == 2
+        victim = backend.worker_pids()[0]
+        timer = threading.Timer(0.2, os.kill, (victim, signal.SIGKILL))
+        timer.start()
+        try:
+            traces = backend.generate(requests)
+        finally:
+            timer.cancel()
+        stats = backend.stats
+    assert len(traces) == len(requests)  # nothing lost
+    for a, b in zip(reference, traces):
+        assert_traces_equal(a, b)  # nothing duplicated or reordered
+    assert stats.n_restarts >= 1
+    assert stats.n_requeued >= 1
+    assert stats.n_duplicate_results == 0
+    assert wait_for_exit(victim)
+
+
+def test_socket_workers_heartbeat():
+    with ProcessBackend(
+        TransparentLLM(seed=11), workers=1, transport="unix", heartbeat_s=0.05
+    ) as backend:
+        backend.start()
+        deadline = time.monotonic() + 5.0
+        while backend.stats.n_heartbeats < 2 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert backend.stats.n_heartbeats >= 2
+
+
+def test_external_repro_worker_joins_an_accept_only_supervisor(table_instances):
+    """workers=0 over TCP: the supervisor serves no local workers and
+    waits for a ``repro-worker --connect`` to dial in — generations then
+    run on the external worker, byte-identically."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro.runtime.remote as remote_module
+
+    backend = ProcessBackend(TransparentLLM(seed=11), workers=0, transport="tcp")
+    proc = None
+    try:
+        backend.start()
+        address = backend.address
+        assert address is not None and address.startswith("tcp:")
+        assert backend.worker_pids() == []  # accept-only: nothing spawned
+        env = dict(os.environ)
+        src_root = str(Path(remote_module.__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.remote", "--connect", address],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        requests = mixed_requests(table_instances[:2])
+        traces = backend.generate(requests)
+        reference = SimulatorBackend(TransparentLLM(seed=11)).generate(requests)
+        for a, b in zip(reference, traces):
+            assert_traces_equal(a, b)
+        stats = backend.stats
+        assert stats.n_external == 1
+        assert stats.n_alive == 1
+        assert backend.worker_pids() == [proc.pid]
+    finally:
+        backend.close()
+        if proc is not None:
+            try:
+                proc.wait(timeout=10)  # EOF from close() ends the worker
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
 # -- CLI byte-identity --------------------------------------------------------
 
 

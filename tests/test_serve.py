@@ -1,0 +1,259 @@
+"""Tests for the ``repro-serve`` online serving tier.
+
+Pins down the serving guarantees:
+
+* ``POST /v1/query`` answers through the same fitted pipeline and
+  generation service as the offline drivers — the embedded ``record``
+  (key included) is byte-identical to the line ``repro-run --artifact``
+  writes for the same example, and concurrent clients see exactly the
+  bytes a serial client would;
+* abstention and answering both ship complete payloads: an abstained
+  query carries no SQL but full probe diagnostics, an answered one
+  carries SQL generated from exactly the linked schema subset;
+* the error surface is deliberate: malformed bodies and unknown
+  tasks/modes are 400s, unknown routes/benchmarks/examples are 404s,
+  and none of them kill the server;
+* ``GET /healthz`` / ``GET /v1/stats`` report liveness, request
+  counters and per-tier cache stats (the second identical query is a
+  memory-tier hit).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.runtime.serve import ApiError, ReproServer, ServeApp, build_serve_parser
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One warmed, running server on an ephemeral port (simulator backend)."""
+    ctx = ExperimentContext.tiny()
+    app = ServeApp(ctx, benchmarks=("bird",))
+    app.warm()
+    server = ReproServer(("127.0.0.1", 0), app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, app, ctx
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        ctx.close()
+
+
+def url(server: ReproServer, path: str) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def get(server: ReproServer, path: str) -> "tuple[int, dict]":
+    try:
+        with urllib.request.urlopen(url(server, path)) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(server: ReproServer, path: str, body: bytes) -> "tuple[int, dict]":
+    request = urllib.request.Request(
+        url(server, path), data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def query(server: ReproServer, payload: dict) -> "tuple[int, dict]":
+    return post(server, "/v1/query", json.dumps(payload).encode())
+
+
+# -- byte-identity with the offline drivers -----------------------------------
+
+
+def test_query_records_match_the_offline_artifact(served, tmp_path):
+    server, app, ctx = served
+    bench = ctx.benchmark("bird")
+    instances = ctx.instances("bird", "dev", "table")
+    path = tmp_path / "offline.jsonl"
+    ctx.runner("bird").run_link(instances, mode="abstain", artifact=str(path))
+    offline = {
+        record["instance_id"].split("/")[0]: record
+        for record in map(json.loads, path.read_text().splitlines())
+        if "instance_id" in record
+    }
+    assert len(offline) == len(bench.dev.examples)
+    for example_id, reference in offline.items():
+        status, body = query(
+            server,
+            {"benchmark": "bird", "example_id": example_id,
+             "task": "table", "mode": "abstain"},
+        )
+        assert status == 200
+        assert json.dumps(body["record"], sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+        assert body["abstained"] is reference["abstained"]
+
+
+def test_concurrent_clients_get_byte_identical_answers(served):
+    server, _app, ctx = served
+    examples = [e.example_id for e in ctx.benchmark("bird").dev.examples]
+    payloads = [
+        {"benchmark": "bird", "example_id": example_id, "task": task, "mode": "abstain"}
+        for example_id in examples
+        for task in ("table", "column")
+    ]
+    reference = [query(server, payload) for payload in payloads]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        concurrent = list(pool.map(lambda p: query(server, p), payloads * 2))
+    for i, got in enumerate(concurrent):
+        want = reference[i % len(payloads)]
+        assert got[0] == 200
+        # Everything but the per-request latency is deterministic.
+        got[1]["diagnostics"].pop("latency_ms")
+        expected = dict(want[1])
+        expected["diagnostics"] = {
+            k: v for k, v in want[1]["diagnostics"].items() if k != "latency_ms"
+        }
+        # After the first pass every generation sits in L1.
+        expected["diagnostics"]["cache_tier"] = "memory"
+        assert got[1] == expected
+
+
+# -- answering and abstaining -------------------------------------------------
+
+
+def test_abstained_query_has_probe_diagnostics_but_no_sql(served):
+    server, _app, ctx = served
+    example_id = ctx.benchmark("bird").dev.examples[0].example_id
+    status, body = query(
+        server,
+        {"benchmark": "bird", "example_id": example_id,
+         "task": "table", "mode": "abstain"},
+    )
+    assert status == 200
+    assert body["abstained"] is True and body["sql"] is None
+    assert body["probe"]["layer_aucs"] and body["probe"]["mean_auc"] > 0
+    assert body["record"]["key"].endswith(f":{body['record']['instance_key']}")
+
+
+def test_human_mode_answers_with_sql(served):
+    server, _app, ctx = served
+    for example in ctx.benchmark("bird").dev.examples:
+        status, body = query(
+            server,
+            {"benchmark": "bird", "example_id": example.example_id,
+             "task": "table", "mode": "human"},
+        )
+        assert status == 200
+        assert body["abstained"] is False
+        assert isinstance(body["sql"], str) and body["sql"].startswith("SELECT")
+
+
+def test_joint_task_serves_both_layers(served):
+    server, _app, ctx = served
+    example = ctx.benchmark("bird").dev.examples[0]
+    status, body = query(
+        server,
+        {"benchmark": "bird", "example_id": example.example_id,
+         "task": "joint", "mode": "human"},
+    )
+    assert status == 200
+    assert body["record"]["key"].endswith(f":{example.example_id}")
+    assert body["probe"]["table_mean_auc"] > 0
+    assert body["probe"]["column_mean_auc"] > 0
+    assert body["sql"] is not None
+
+
+def test_query_by_question_resolves_the_example(served):
+    server, _app, ctx = served
+    example = ctx.benchmark("bird").dev.examples[0]
+    status, body = query(
+        server, {"benchmark": "bird", "question": example.question, "task": "table"}
+    )
+    assert status == 200
+    assert body["example_id"] == example.example_id
+
+
+# -- the error surface --------------------------------------------------------
+
+
+def test_error_responses(served):
+    server, _app, ctx = served
+    example_id = ctx.benchmark("bird").dev.examples[0].example_id
+    assert get(server, "/nope")[0] == 404
+    assert post(server, "/v1/nope", b"{}")[0] == 404
+    assert post(server, "/v1/query", b"")[0] == 400  # empty body
+    assert post(server, "/v1/query", b"{not json")[0] == 400
+    assert post(server, "/v1/query", b"[1, 2]")[0] == 400  # non-object body
+    assert query(server, {"benchmark": "bird"})[0] == 400  # no id, no question
+    assert query(server, {"benchmark": "postgres", "example_id": example_id})[0] == 404
+    assert query(server, {"example_id": "no-such-example"})[0] == 404
+    assert query(server, {"example_id": example_id, "task": "views"})[0] == 400
+    assert query(server, {"example_id": example_id, "mode": "prayer"})[0] == 400
+    # The server survived all of it.
+    assert get(server, "/healthz")[0] == 200
+
+
+def test_api_error_carries_its_status():
+    error = ApiError(418, "teapot")
+    assert error.status == 418 and str(error) == "teapot"
+
+
+# -- health and stats ---------------------------------------------------------
+
+
+def test_healthz_reports_liveness(served):
+    server, _app, _ctx = served
+    status, body = get(server, "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["benchmarks"] == ["bird"]
+    assert body["backend"] == "SimulatorBackend"
+    assert body["uptime_s"] >= 0
+
+
+def test_stats_counts_requests_and_tiers(served):
+    server, app, ctx = served
+    example_id = ctx.benchmark("bird").dev.examples[0].example_id
+    payload = {"benchmark": "bird", "example_id": example_id, "task": "table"}
+    assert query(server, payload)[0] == 200
+    status, repeat = query(server, payload)
+    assert status == 200
+    assert repeat["diagnostics"]["cache_tier"] == "memory"  # second hit is L1
+    status, stats = get(server, "/v1/stats")
+    assert status == 200
+    assert stats["requests"]["n_queries"] >= 2
+    assert stats["requests"]["n_errors"] >= 0
+    assert stats["tiers"]["memory"]["hits"] >= 1
+    assert stats["cache"]["hits"] >= 1
+    assert stats["namespace"] == ctx.service.namespace()
+    assert "supervisor" not in stats  # simulator backend: no fleet
+
+
+# -- the CLI parser -----------------------------------------------------------
+
+
+def test_serve_parser_shares_the_backend_flag_vocabulary():
+    args = build_serve_parser().parse_args(
+        ["--benchmark", "bird", "spider", "--scale", "tiny",
+         "--backend", "process", "--transport", "unix", "--gen-workers", "2"]
+    )
+    assert args.benchmark == ["bird", "spider"]
+    assert args.backend == "process"
+    assert args.transport == "unix"
+    assert args.gen_workers == 2
+    assert args.port == 0  # ephemeral by default
