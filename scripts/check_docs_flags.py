@@ -1,0 +1,145 @@
+"""The docs-vs-``--help`` gate: documented flags must exist.
+
+Scans fenced code blocks in README.md and docs/*.md for invocations of
+the repro CLIs and fails if any ``--flag`` they show is not reported by
+that CLI's ``--help`` (i.e. registered on its argparse parser,
+subcommands included). Prose can say anything; code blocks are promises.
+
+Run directly (``python scripts/check_docs_flags.py``) or via
+``scripts/dev.sh docs-check``; CI runs it next to the tier-1 suite.
+Exit status: 0 clean, 1 on violations (each printed as
+``path:line: message``), 2 when a scanned doc is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+FENCE = re.compile(r"^(`{3,}|~{3,})")
+FLAG = re.compile(r"(?<![\w-])--[a-zA-Z0-9][\w-]*")
+
+
+def parser_builders() -> dict:
+    """name -> zero-arg builder for every installed console script."""
+    from repro.runtime.cli import build_cache_parser, build_parser, build_sweep_parser
+    from repro.runtime.remote import build_worker_parser
+    from repro.runtime.serve import build_serve_parser
+
+    return {
+        "repro-run": build_parser,
+        "repro-sweep": build_sweep_parser,
+        "repro-cache": build_cache_parser,
+        "repro-serve": build_serve_parser,
+        "repro-worker": build_worker_parser,
+    }
+
+
+def collect_flags(parser: argparse.ArgumentParser) -> "set[str]":
+    """Every ``--flag`` the parser (and its subparsers) reports."""
+    flags: "set[str]" = set()
+    stack = [parser]
+    while stack:
+        current = stack.pop()
+        for action in current._actions:
+            flags.update(o for o in action.option_strings if o.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return flags
+
+
+def code_block_lines(text: str) -> "list[tuple[int, str]]":
+    """(line_number, line) for every line inside a fenced code block."""
+    lines: "list[tuple[int, str]]" = []
+    fence: "str | None" = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = FENCE.match(line.strip())
+        if match:
+            marker = match.group(1)[0] * 3
+            if fence is None:
+                fence = marker
+            elif line.strip().startswith(fence):
+                fence = None
+            continue
+        if fence is not None:
+            lines.append((number, line))
+    return lines
+
+
+def logical_commands(lines) -> "list[tuple[int, str]]":
+    """Join backslash-continued lines into one logical command each."""
+    joined: "list[tuple[int, str]]" = []
+    buffer = ""
+    start = 0
+    for number, line in lines:
+        if not buffer:
+            start = number
+        buffer += line.rstrip()
+        if buffer.endswith("\\"):
+            buffer = buffer[:-1] + " "
+            continue
+        joined.append((start, buffer))
+        buffer = ""
+    if buffer:
+        joined.append((start, buffer))
+    return joined
+
+
+def check_file(path: Path, known: "dict[str, set[str]]") -> "list[str]":
+    violations: "list[str]" = []
+    relative = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+    for number, command in logical_commands(code_block_lines(path.read_text())):
+        cli = next((name for name in known if name in command), None)
+        if cli is None:
+            continue  # not a repro invocation (curl, kill, dev.sh, ...)
+        for flag in FLAG.findall(command):
+            if flag not in known[cli]:
+                violations.append(
+                    f"{relative}:{number}: {cli} --help does not report "
+                    f"{flag!r} (documented in a code block)"
+                )
+    return violations
+
+
+def scan(paths: "list[Path] | None" = None) -> "list[str]":
+    if paths is None:
+        paths = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    known = {
+        name: collect_flags(builder()) for name, builder in parser_builders().items()
+    }
+    violations: "list[str]" = []
+    for path in paths:
+        if not path.is_file():
+            violations.append(f"{path}: documented file is missing")
+            continue
+        violations.extend(check_file(path, known))
+    return violations
+
+
+def main() -> int:
+    expected = [REPO / "README.md", REPO / "docs" / "architecture.md",
+                REPO / "docs" / "operations.md", REPO / "docs" / "http-api.md"]
+    missing = [path for path in expected if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"docs-check: missing {path.relative_to(REPO)}", file=sys.stderr)
+        return 2
+    violations = scan()
+    for violation in violations:
+        print(f"docs-check: {violation}", file=sys.stderr)
+    if violations:
+        return 1
+    scanned = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    print(
+        f"docs-check OK: {len(scanned)} docs, every code-block flag "
+        "reported by --help"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

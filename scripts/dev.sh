@@ -4,15 +4,20 @@
 #
 #   scripts/dev.sh lint          # ruff check + format gate
 #   scripts/dev.sh test          # tier-1 pytest suite
+#   scripts/dev.sh docs-check    # README/docs code-block flags vs --help
 #   scripts/dev.sh bench-smoke   # micro-benchmarks once each + JSON artifact
 #   scripts/dev.sh sweep-smoke   # sharded sweep + warm-cache + merge identity
 #   scripts/dev.sh service-smoke # simulator/async/process byte identity,
 #                                # kill-one-worker crash recovery, compacted
 #                                # SQLite-indexed warm run with zero misses
-#   scripts/dev.sh serve-smoke   # repro-serve over two unix-socket workers:
-#                                # HTTP answers byte-identical to repro-run,
+#   scripts/dev.sh serve-smoke   # repro-serve over two unix-socket workers
+#                                # with deadlines + fleet/bearer tokens:
+#                                # deadline 503s without duplicates, HTTP
+#                                # answers byte-identical to repro-run,
 #                                # duplicate-query cache hits, SIGKILL one
-#                                # worker mid-load and assert clean recovery
+#                                # worker mid-load and assert clean recovery,
+#                                # SIGTERM-drain one worker mid-burst with
+#                                # zero requeues, latency histograms populated
 #   scripts/dev.sh all           # everything, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,13 +28,17 @@ lint() {
     echo "scripts/dev.sh: ruff not found — pip install 'ruff>=0.4'" >&2
     exit 3
   }
-  ruff check src tests benchmarks examples
+  ruff check src tests benchmarks examples scripts/check_docs_flags.py
   # New subsystems hold the line on formatting; legacy files migrate over time.
-  ruff format --check src/repro/runtime tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/test_serve.py tests/test_backend_spec.py tests/helpers.py
+  ruff format --check src/repro/runtime scripts/check_docs_flags.py tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/test_serve.py tests/test_backend_spec.py tests/test_docs.py tests/helpers.py
 }
 
 tier1() {
   python -m pytest -x -q
+}
+
+docs_check() {
+  python scripts/check_docs_flags.py
 }
 
 bench_smoke() {
@@ -219,11 +228,17 @@ serve_smoke() {
     --cache-dir "$out/gen-offline" > "$out/offline-column.json"
 
   # The server: two unix-socket workers, chaos-delayed generations so
-  # the mid-load SIGKILL below reliably lands on in-flight requests.
-  REPRO_WORKER_CHAOS_DELAY_MS=40 python -c \
+  # the mid-load SIGKILL below reliably lands on in-flight requests —
+  # and the full SLO surface on: a default request deadline, a fleet
+  # token on the worker socket, a bearer token on /v1/*.
+  REPRO_WORKER_CHAOS_DELAY_MS=40 \
+  REPRO_FLEET_TOKEN=smoke-fleet-token \
+  REPRO_SERVE_TOKEN=smoke-serve-token \
+  python -c \
     'import sys; from repro.runtime.serve import main_serve; sys.exit(main_serve(sys.argv[1:]))' \
     --benchmark bird --scale tiny --backend process --transport unix \
-    --gen-workers 2 --worker-log-dir "$out/worker-logs" \
+    --gen-workers 2 --request-timeout-s 30 \
+    --worker-log-dir "$out/worker-logs" \
     > "$out/serve-ready.json" 2> "$out/serve.log" &
   local server_pid=$!
   trap 'kill "$server_pid" 2>/dev/null || true' RETURN
@@ -247,6 +262,8 @@ import os
 import signal
 import sys
 import threading
+import time
+import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -255,21 +272,32 @@ out = Path(sys.argv[1])
 ready = json.loads((out / "serve-ready.json").read_text())
 base = f"http://{ready['host']}:{ready['port']}"
 assert ready["transport"] == "unix" and len(ready["worker_pids"]) == 2, ready
+BEARER = {"Authorization": "Bearer smoke-serve-token"}
 
 
-def get(path):
-    with urllib.request.urlopen(base + path) as response:
+def get(path, headers=BEARER):
+    request = urllib.request.Request(base + path, headers=headers)
+    with urllib.request.urlopen(request) as response:
         return json.loads(response.read())
 
 
-def query(payload):
+def query(payload, headers=BEARER):
     request = urllib.request.Request(
         base + "/v1/query",
         data=json.dumps(payload).encode(),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **headers},
     )
     with urllib.request.urlopen(request) as response:
         return json.loads(response.read())
+
+
+def expect_status(status, fn, *args, **kwargs):
+    try:
+        fn(*args, **kwargs)
+    except urllib.error.HTTPError as exc:
+        assert exc.code == status, f"expected {status}, got {exc.code}"
+        return json.loads(exc.read())
+    raise AssertionError(f"expected HTTP {status}, request succeeded")
 
 
 def offline(task):
@@ -288,8 +316,30 @@ def check(task, response, reference):
     assert got == want, f"{task} record drifted from offline:\n {got}\n {want}"
 
 
-health = get("/healthz")
+health = get("/healthz", headers={})  # liveness never needs credentials
 assert health["status"] == "ok" and health["workers_alive"] == 2, health
+assert health["workers_draining"] == 0, health
+
+# Phase 0a: the bearer gate — unauthenticated /v1/* is 401, /healthz open.
+some_example = next(iter(offline("table")))
+unauthorized = expect_status(
+    401, query, {"example_id": some_example, "task": "table"}, headers={}
+)
+assert unauthorized["error_type"] == "unauthorized", unauthorized
+expect_status(401, get, "/v1/stats", headers={})
+
+# Phase 0b: a chaos-delayed query with a tight per-request deadline is
+# a 503 with the documented body; the generation is disowned, never
+# duplicated (the same example answers byte-identically in phase 1).
+deadline = expect_status(
+    503, query, {"example_id": some_example, "task": "table", "timeout_s": 0.01}
+)
+assert deadline["error_type"] == "deadline_exceeded", deadline
+assert deadline["retryable"] is True and deadline["timeout_s"] == 0.01, deadline
+stats = get("/v1/stats")
+assert stats["requests"]["n_deadline_exceeded"] >= 1, stats["requests"]
+assert stats["supervisor"]["n_deadline_exceeded"] >= 1, stats["supervisor"]
+assert stats["supervisor"]["n_duplicate_results"] == 0, stats["supervisor"]
 
 # Phase 1: every table answer byte-matches the offline artifact; the
 # same queries again (concurrently) must be L1 cache hits.
@@ -327,25 +377,64 @@ assert supervisor["n_requeued"] >= 1, f"in-flight work never requeued: {supervis
 assert supervisor["n_duplicate_results"] == 0, f"a result resolved twice: {supervisor}"
 assert stats["tiers"]["memory"]["hits"] >= len(table), f"no L1 hits: {stats['tiers']}"
 assert stats["requests"]["n_queries"] >= 2 * len(table) + len(column), stats["requests"]
+
+# Phase 3: SIGTERM one worker mid-burst — a graceful drain. It must
+# finish in-flight work, deregister with zero additional requeues, and
+# its replacement must keep capacity level.
+requeued_before = supervisor["n_requeued"]
+victim = stats["worker_pids"][0]
+threading.Timer(0.1, os.kill, (victim, signal.SIGTERM)).start()
+with ThreadPoolExecutor(max_workers=8) as pool:
+    drain_burst = list(
+        pool.map(lambda i: query({"example_id": i, "task": "column"}), column)
+    )
+for response in drain_burst:
+    check("column", response, column[response["example_id"]])
+for _ in range(200):
+    supervisor = get("/v1/stats")["supervisor"]
+    if supervisor["n_drained"] >= 1 and supervisor["n_alive"] == 2:
+        break
+    time.sleep(0.05)
+assert supervisor["n_drained"] >= 1, f"SIGTERM never drained: {supervisor}"
+assert supervisor["n_alive"] == 2, f"drained capacity not replaced: {supervisor}"
+assert supervisor["n_requeued"] == requeued_before, (
+    f"a drain requeued work (SIGTERM behaved like a crash): {supervisor}"
+)
+assert supervisor["n_duplicate_results"] == 0, supervisor
+
+# The latency histograms regressed against by the traffic-replay
+# benchmark: non-empty buckets and finite percentiles per endpoint.
+stats = get("/v1/stats")
+for endpoint in ("query", "healthz", "stats"):
+    histogram = stats["latency"]["endpoints"][endpoint]
+    assert histogram["count"] >= 1, f"{endpoint}: empty histogram"
+    assert sum(histogram["bucket_counts"]) == histogram["count"], histogram
+    for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+        assert histogram[quantile] is not None, f"{endpoint}: {quantile} missing"
+assert "memory" in stats["latency"]["tiers"], stats["latency"]["tiers"]
 print(
     f"serve-smoke OK: {stats['requests']['n_queries']} queries byte-identical "
-    f"to offline, supervisor={supervisor}, tiers={stats['tiers']}"
+    f"to offline, deadline 503s={stats['requests']['n_deadline_exceeded']}, "
+    f"drained={supervisor['n_drained']}, supervisor={supervisor}, "
+    f"query p95={stats['latency']['endpoints']['query']['p95_ms']}ms"
 )
 PY
 
   kill "$server_pid" 2>/dev/null || true
   wait "$server_pid" 2>/dev/null || true
-  echo "serve-smoke passed: HTTP answers byte-identical to repro-run," \
-       "duplicate queries hit L1, SIGKILLed socket worker recovered cleanly"
+  echo "serve-smoke passed: deadline 503s without duplicates, auth gates hold," \
+       "HTTP answers byte-identical to repro-run, duplicate queries hit L1," \
+       "SIGKILLed worker recovered and SIGTERMed worker drained with zero requeues"
 }
 
 case "${1:-all}" in
   lint) lint ;;
   test) tier1 ;;
+  docs-check) docs_check ;;
   bench-smoke) bench_smoke ;;
   sweep-smoke) sweep_smoke ;;
   service-smoke) service_smoke ;;
   serve-smoke) serve_smoke ;;
-  all) lint; tier1; bench_smoke; sweep_smoke; service_smoke; serve_smoke ;;
-  *) echo "usage: scripts/dev.sh [lint|test|bench-smoke|sweep-smoke|service-smoke|serve-smoke|all]" >&2; exit 2 ;;
+  all) lint; tier1; docs_check; bench_smoke; sweep_smoke; service_smoke; serve_smoke ;;
+  *) echo "usage: scripts/dev.sh [lint|test|docs-check|bench-smoke|sweep-smoke|service-smoke|serve-smoke|all]" >&2; exit 2 ;;
 esac

@@ -131,7 +131,10 @@ examples:
 The --backend axis never changes a summary byte: all three backends are
 pure functions of the same requests and share one cache namespace. The
 same spec drives the online tier: `repro-serve` answers HTTP queries
-byte-identically to these offline runs (see repro-serve --help).
+byte-identically to these offline runs (see repro-serve --help), and
+the shared SLO knobs apply offline too — --request-timeout-s deadlines
+each generation and --fleet-token (or $REPRO_FLEET_TOKEN) gates socket
+workers joining the fleet. Operator docs: README.md, docs/.
 """
 
 
@@ -309,7 +312,10 @@ unit summaries and the merged sweep-summary.json are byte-identical
 regardless, and all backends share one persistent cache namespace.
 With --backend process --transport unix|tcp the workers connect over
 sockets, and external machines can lend capacity to a shard by running
-`repro-worker --connect <address>` against its supervisor.
+`repro-worker --connect <address>` against its supervisor — gated by
+--fleet-token / $REPRO_FLEET_TOKEN when set. --request-timeout-s
+deadlines each generation instead of waiting forever. Operator docs:
+README.md, docs/.
 """
 
 

@@ -47,7 +47,21 @@ message dicts tagged with ``"op"``::
                           | {"op": "error", "id": n, "error": traceback str}
     supervisor -> worker: {"op": "ping", "id": n}   -> {"op": "pong", "id": n}
     worker -> supervisor: {"op": "heartbeat", "pid": ...}         (socket only)
+    worker -> supervisor: {"op": "draining", "pid": ...}   (SIGTERM received)
+    supervisor -> worker: {"op": "goodbye", "reason": ...} (hello rejected)
     supervisor -> worker: {"op": "shutdown"}        (or EOF)
+
+Hardening: the supervisor can carry a ``fleet_token`` — socket hellos
+must present it (compared with ``hmac.compare_digest``) or the
+connection is dropped before any pickle of ours reaches the peer. A
+``request_timeout_s`` deadline bounds every ``generate`` wait; an
+expired request raises :class:`~repro.runtime.service.DeadlineExceeded`
+to its caller while the supervisor disowns the in-flight id — the late
+result is absorbed (not a duplicate) and a later crash will not requeue
+it. ``SIGTERM`` to a worker (or :meth:`ProcessBackend.drain`) starts a
+graceful drain: the worker stops receiving new dispatch, finishes its
+in-flight requests, and deregisters with zero requeues — the rolling
+restart primitive.
 
 Pickle round-trips numpy arrays bit-exactly and traces are pure
 functions of their requests, so :class:`ProcessBackend` is byte-identical
@@ -68,8 +82,10 @@ enough to crash a worker mid-flight.
 from __future__ import annotations
 
 import argparse
+import hmac
 import os
 import pickle
+import signal
 import socket
 import struct
 import subprocess
@@ -84,12 +100,15 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.llm.model import GenerationTrace, TransparentLLM
 from repro.runtime.service import (
+    FLEET_TOKEN_ENV,
     FORCED,
     FREE,
     PIPE_TRANSPORT,
     TCP_TRANSPORT,
     TRANSPORTS,
     UNIX_TRANSPORT,
+    DeadlineExceeded,
+    effective_timeout,
     simulator_identity,
 )
 
@@ -358,11 +377,28 @@ def _serve_requests(recv: Callable, send: Callable, llm) -> int:
         send({"op": "result", "id": message["id"], "trace": trace})
 
 
-def worker_main(stdin=None, stdout=None) -> int:
+def _drain_notifier(send: Callable, drain_event: threading.Event) -> None:
+    """Announce drain intent upstream once the SIGTERM flag trips.
+
+    The signal handler only sets the event — sending from the handler
+    itself could re-enter the write lock mid-frame and deadlock — so
+    this daemon thread does the actual (locked) send. The worker keeps
+    serving until the supervisor answers with ``shutdown`` / EOF.
+    """
+    drain_event.wait()
+    try:
+        send({"op": "draining", "pid": os.getpid()})
+    except (OSError, ValueError):
+        pass  # channel gone: the main loop is exiting anyway
+
+
+def worker_main(stdin=None, stdout=None, drain_event=None) -> int:
     """Serve generation requests over framed stdin/stdout until EOF.
 
     The first frame is the init message carrying the pickled
     :class:`TransparentLLM`; everything after is request/response.
+    ``drain_event`` (set by ``main_worker``'s SIGTERM handler) makes the
+    worker announce ``draining`` upstream and finish gracefully.
     """
     stdin = stdin if stdin is not None else sys.stdin.buffer
     stdout = stdout if stdout is not None else sys.stdout.buffer
@@ -371,10 +407,21 @@ def worker_main(stdin=None, stdout=None) -> int:
         print("repro worker: no init message; exiting", file=sys.stderr)
         return 1
     llm = init["llm"]
-    send_message(stdout, {"op": "ready", "pid": os.getpid()})
-    return _serve_requests(
-        lambda: recv_message(stdin), lambda message: send_message(stdout, message), llm
-    )
+    write_lock = threading.Lock()
+
+    def send(message: dict) -> None:
+        with write_lock:
+            send_message(stdout, message)
+
+    if drain_event is not None:
+        threading.Thread(
+            target=_drain_notifier,
+            args=(send, drain_event),
+            name="repro-worker-drain",
+            daemon=True,
+        ).start()
+    send({"op": "ready", "pid": os.getpid()})
+    return _serve_requests(lambda: recv_message(stdin), send, llm)
 
 
 def _heartbeat_loop(send: Callable, stop: threading.Event, interval_s: float) -> None:
@@ -389,6 +436,7 @@ def socket_worker_main(
     address: str,
     token: "str | None" = None,
     heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    drain_event=None,
 ) -> int:
     """Connect to a supervisor, register, and serve its requests.
 
@@ -396,7 +444,10 @@ def socket_worker_main(
     the worker's identity (pid, host) and capabilities, the supervisor
     answers with the init message, and a daemon thread heartbeats every
     ``heartbeat_s`` seconds so the supervisor can tell a slow worker
-    from a dead link.
+    from a dead link. ``token`` doubles as the spawn token (supervisor-
+    launched workers) or the shared fleet token (external joins against
+    a ``--fleet-token`` supervisor); ``drain_event`` triggers the
+    graceful-drain announcement (see :func:`_drain_notifier`).
     """
     try:
         sock = connect_address(address)
@@ -422,7 +473,11 @@ def socket_worker_main(
         )
         init = transport.recv()
         if init is None or init.get("op") != "init":
-            print("repro-worker: no init message; exiting", file=sys.stderr)
+            reason = init.get("reason") if isinstance(init, dict) else None
+            if reason:
+                print(f"repro-worker: rejected by supervisor: {reason}", file=sys.stderr)
+            else:
+                print("repro-worker: no init message; exiting", file=sys.stderr)
             return 1
         llm = init["llm"]
         stop = threading.Event()
@@ -431,6 +486,13 @@ def socket_worker_main(
                 target=_heartbeat_loop,
                 args=(send, stop, heartbeat_s),
                 name="repro-worker-heartbeat",
+                daemon=True,
+            ).start()
+        if drain_event is not None:
+            threading.Thread(
+                target=_drain_notifier,
+                args=(send, drain_event),
+                name="repro-worker-drain",
                 daemon=True,
             ).start()
         send({"op": "ready", "pid": os.getpid()})
@@ -477,6 +539,12 @@ def build_worker_parser() -> argparse.ArgumentParser:
         "when it launches its own socket workers)",
     )
     parser.add_argument(
+        "--fleet-token",
+        default=None,
+        help="shared secret for joining a --fleet-token supervisor "
+        f"(default: the {FLEET_TOKEN_ENV} environment variable, if set)",
+    )
+    parser.add_argument(
         "--heartbeat-s",
         type=float,
         default=DEFAULT_HEARTBEAT_S,
@@ -487,10 +555,21 @@ def build_worker_parser() -> argparse.ArgumentParser:
 
 def main_worker(argv: "list[str] | None" = None) -> int:
     args = build_worker_parser().parse_args(argv)
+    # SIGTERM means drain, not die: set a flag the notifier thread turns
+    # into a ``draining`` frame, keep serving until shutdown/EOF.
+    drain_event = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda _signum, _frame: drain_event.set())
+    except ValueError:  # not the main thread (embedded use): no handler
+        pass
     if args.connect is None:
-        return worker_main()
+        return worker_main(drain_event=drain_event)
+    token = args.token or args.fleet_token or os.environ.get(FLEET_TOKEN_ENV) or None
     return socket_worker_main(
-        args.connect, token=args.token, heartbeat_s=args.heartbeat_s
+        args.connect,
+        token=token,
+        heartbeat_s=args.heartbeat_s,
+        drain_event=drain_event,
     )
 
 
@@ -510,6 +589,10 @@ class SupervisorStats:
     transport: str = PIPE_TRANSPORT
     n_external: int = 0
     n_heartbeats: int = 0
+    n_deadline_exceeded: int = 0
+    n_draining: int = 0
+    n_drained: int = 0
+    n_rejected_hellos: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -522,13 +605,17 @@ class SupervisorStats:
             "transport": self.transport,
             "n_external": self.n_external,
             "n_heartbeats": self.n_heartbeats,
+            "n_deadline_exceeded": self.n_deadline_exceeded,
+            "n_draining": self.n_draining,
+            "n_drained": self.n_drained,
+            "n_rejected_hellos": self.n_rejected_hellos,
         }
 
 
 class _Pending:
     """One dispatched request waiting for its result."""
 
-    __slots__ = ("request", "worker", "event", "value", "error", "sent_at")
+    __slots__ = ("request", "worker", "event", "value", "error", "sent_at", "request_id")
 
     def __init__(self, request):
         self.request = request
@@ -537,6 +624,9 @@ class _Pending:
         self.value = None
         self.error: "BaseException | None" = None
         self.sent_at: "float | None" = None
+        # The id of the *latest* dispatch (requeue reallocates ids);
+        # deadline expiry uses it to disown exactly the in-flight copy.
+        self.request_id: "int | None" = None
 
     def resolve(self, value=None, error=None) -> None:
         self.value = value
@@ -559,6 +649,7 @@ class _Worker:
         "write_lock",
         "ready",
         "dead",
+        "draining",
         "reader",
         "pid",
         "remote",
@@ -582,6 +673,7 @@ class _Worker:
         self.write_lock = threading.Lock()
         self.ready = threading.Event()
         self.dead = False  # guarded by the supervisor lock
+        self.draining = False  # guarded by the supervisor lock
         self.reader: "threading.Thread | None" = None
         self.pid: "int | None" = proc.pid if proc is not None else None
         self.remote = remote  # joined over the wire, not spawned by us
@@ -615,6 +707,17 @@ class ProcessBackend:
     local socket workers, and additionally adopt any external
     ``repro-worker --connect`` that dials in (``workers=0`` makes the
     supervisor accept-only — it waits for remote workers to join).
+    With ``fleet_token`` set, external hellos must present the token
+    (``hmac.compare_digest``) or the connection is dropped unserved.
+
+    SLO hardening: ``request_timeout_s`` (or a per-call
+    :func:`~repro.runtime.service.deadline_scope`) bounds every
+    ``generate`` wait — an expired request raises
+    :class:`~repro.runtime.service.DeadlineExceeded` while its in-flight
+    id is disowned (late result absorbed, crash-requeue suppressed,
+    never duplicated). :meth:`drain` — or a worker-side SIGTERM —
+    retires a worker gracefully: no new dispatch, in-flight work
+    completes, polite shutdown, zero requeues.
 
     Determinism: workers run the same ``TransparentLLM`` code as
     :class:`~repro.runtime.service.SimulatorBackend` and pickle
@@ -635,6 +738,8 @@ class ProcessBackend:
         transport: str = PIPE_TRANSPORT,
         address: "str | None" = None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        request_timeout_s: "float | None" = None,
+        fleet_token: "str | None" = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; pick from {TRANSPORTS}")
@@ -644,7 +749,15 @@ class ProcessBackend:
             raise ValueError("workers must be >= 0")
         if max_restarts is not None and max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if request_timeout_s is not None and not request_timeout_s > 0:
+            raise ValueError("request_timeout_s must be > 0 (or None)")
+        if fleet_token is not None and not fleet_token:
+            raise ValueError("fleet_token must be non-empty (or None)")
         self.llm = llm
+        self.request_timeout_s = (
+            None if request_timeout_s is None else float(request_timeout_s)
+        )
+        self.fleet_token = fleet_token
         self.workers = int(workers)
         self.max_restarts = 2 * max(1, self.workers) if max_restarts is None else int(max_restarts)
         self.startup_timeout_s = float(startup_timeout_s)
@@ -668,6 +781,12 @@ class ProcessBackend:
         self._n_duplicate_results = 0
         self._n_external = 0
         self._n_heartbeats = 0
+        self._n_deadline_exceeded = 0
+        self._n_drained = 0
+        self._n_rejected_hellos = 0
+        # Deadline-disowned in-flight ids → the worker still computing
+        # them; their late results adjust bookkeeping, never duplicate.
+        self._expired: "dict[int, _Worker]" = {}
         self._init_blob: "bytes | None" = None
         self._listener: "socket.socket | None" = None
         self._listen_address: "str | None" = None
@@ -700,6 +819,10 @@ class ProcessBackend:
                 transport=self.transport,
                 n_external=self._n_external,
                 n_heartbeats=self._n_heartbeats,
+                n_deadline_exceeded=self._n_deadline_exceeded,
+                n_draining=sum(1 for worker in self._alive() if worker.draining),
+                n_drained=self._n_drained,
+                n_rejected_hellos=self._n_rejected_hellos,
             )
 
     @property
@@ -725,6 +848,7 @@ class ProcessBackend:
                     "index": worker.index,
                     "pid": worker.pid,
                     "remote": worker.remote,
+                    "draining": worker.draining,
                     "inflight": worker.inflight,
                     "ewma_ms": worker.ewma_s * 1000.0 if worker.ewma_s else None,
                     "idle_s": round(now - worker.last_seen, 3),
@@ -740,6 +864,11 @@ class ProcessBackend:
 
     def _alive(self) -> "list[_Worker]":  # caller holds self._lock
         return [worker for worker in self._fleet if not worker.dead]
+
+    def _dispatchable(self) -> "list[_Worker]":  # caller holds self._lock
+        """Alive workers accepting new requests (draining ones finish
+        their in-flight work but get nothing new)."""
+        return [worker for worker in self._fleet if not worker.dead and not worker.draining]
 
     def _worker_env(self) -> dict:
         env = dict(os.environ)
@@ -920,14 +1049,30 @@ class ProcessBackend:
             transport.close()
             return
         token = hello.get("token")
-        if token:
+        if token and isinstance(token, str):
             with self._handshake_lock:
                 slot = self._spawn_waiters.get(token)
                 if slot is not None:
+                    # One-shot spawn token: this is a worker we launched
+                    # ourselves, vouched for out of band — no fleet
+                    # token required.
                     slot["transport"] = transport
                     slot["hello"] = hello
                     slot["event"].set()
                     return
+        if self.fleet_token is not None:
+            presented = token if isinstance(token, str) else ""
+            if not hmac.compare_digest(
+                presented.encode("utf-8"), self.fleet_token.encode("utf-8")
+            ):
+                with self._lock:
+                    self._n_rejected_hellos += 1
+                try:
+                    transport.send({"op": "goodbye", "reason": "fleet token rejected"})
+                except (OSError, ValueError):
+                    pass
+                transport.close()
+                return
         self._adopt(transport, hello)
 
     def _adopt(self, transport: SocketTransport, hello: dict) -> None:
@@ -1046,6 +1191,92 @@ class ProcessBackend:
             self._n_restarts += 1
             self._spawn_worker()
 
+    # -- graceful draining ---------------------------------------------------
+
+    def drain(self, worker_id: int) -> bool:
+        """Gracefully retire the alive worker with index ``worker_id``.
+
+        The worker stops receiving new dispatch immediately, finishes
+        everything already in flight, then gets a polite ``shutdown`` —
+        zero requeues, zero duplicates. A locally-spawned worker is
+        replaced up front (a deliberate rotation, so the replacement
+        does not consume the restart budget); a remote worker's operator
+        brings its successor. Returns False for an unknown/dead id.
+        """
+        with self._lock:
+            worker = next(
+                (candidate for candidate in self._alive() if candidate.index == worker_id),
+                None,
+            )
+            if worker is None:
+                return False
+        self._begin_drain(worker)
+        return True
+
+    def _begin_drain(self, worker: _Worker) -> None:
+        finish = False
+        with self._lock:
+            if worker.dead or worker.draining:
+                return
+            worker.draining = True
+            if (
+                worker.proc is not None
+                and self._started
+                and not self._closing
+                and self.workers > 0
+            ):
+                try:
+                    self._spawn_worker()
+                except Exception:
+                    # Capacity dips by one; check_health's _replenish
+                    # (restart budget) covers the gap after the drain.
+                    pass
+            finish = self._drain_ready(worker)
+        if finish:  # already idle: deregister right away
+            self._finish_drain(worker)
+
+    def _drain_ready(self, worker: _Worker) -> bool:  # caller holds self._lock
+        """True when a draining worker has nothing left in flight —
+        including deadline-expired requests it is still computing."""
+        return (
+            worker.draining
+            and not worker.dead
+            and worker.inflight <= 0
+            and not any(pending.worker is worker for pending in self._pending.values())
+            and not any(owner is worker for owner in self._expired.values())
+        )
+
+    def _finish_drain(self, worker: _Worker) -> None:
+        """Deregister a fully-idle draining worker (no requeues by
+        construction: nothing was in flight). Reaping happens on a
+        side thread because this often runs on the worker's own reader
+        thread, which must stay free to observe the closing channel."""
+        with self._lock:
+            if worker.dead:
+                return
+            worker.dead = True
+            self._n_drained += 1
+        with worker.write_lock:
+            try:
+                worker.transport.send({"op": "shutdown"})
+            except (OSError, ValueError):
+                pass
+            worker.transport.begin_shutdown()
+        proc = worker.proc
+
+        def _reap() -> None:
+            if proc is not None:
+                try:
+                    proc.wait(timeout=self.shutdown_timeout_s)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+            worker.transport.close()
+
+        threading.Thread(
+            target=_reap, name=f"generation-worker-reaper-{worker.index}", daemon=True
+        ).start()
+
     def ping(self, timeout_s: float = 10.0) -> "list[int]":
         """Round-trip a ping through every alive worker; responsive PIDs."""
         self._ensure_started()
@@ -1156,14 +1387,41 @@ class ProcessBackend:
             return []
         self._ensure_started()
         self.check_health()
+        timeout = effective_timeout(self.request_timeout_s)
         entries = [self._submit(request) for request in requests]
+        deadline = None if timeout is None else time.monotonic() + timeout
         results = []
         for entry in entries:
-            entry.event.wait()
+            if deadline is None:
+                entry.event.wait()
+            elif not entry.event.wait(max(0.0, deadline - time.monotonic())):
+                self._expire_batch(entries, timeout)
+                raise DeadlineExceeded(timeout)
             if entry.error is not None:
                 raise entry.error
             results.append(entry.value)
         return results
+
+    def _expire_batch(self, entries: "list[_Pending]", timeout: float) -> None:
+        """Disown every unresolved entry of a deadline-exceeded batch.
+
+        Each expired id leaves ``_pending`` (so a later worker crash
+        cannot requeue it) and is remembered in ``_expired`` (so the
+        late result is absorbed into the worker's bookkeeping instead of
+        being counted as a duplicate). Entries whose result races the
+        expiry keep their resolution — the deadline only wins ties it
+        actually wins.
+        """
+        for entry in entries:
+            with self._lock:
+                if entry.event.is_set():
+                    continue
+                if entry.request_id is not None:
+                    self._pending.pop(entry.request_id, None)
+                    if entry.worker is not None and not entry.worker.dead:
+                        self._expired[entry.request_id] = entry.worker
+                self._n_deadline_exceeded += 1
+                entry.resolve(error=DeadlineExceeded(timeout))
 
     def _submit(self, request) -> _Pending:
         pending = _Pending(request)
@@ -1192,7 +1450,7 @@ class ProcessBackend:
         """Accept-only mode: block (unlocked) until a worker connects."""
         while time.monotonic() < deadline:
             with self._lock:
-                if self._closing or self._alive():
+                if self._closing or self._dispatchable():
                     return True
             time.sleep(0.05)
         return False
@@ -1205,7 +1463,7 @@ class ProcessBackend:
                 if self._closing:
                     pending.resolve(error=WorkerCrashError("ProcessBackend closed"))
                     return
-                fleet = self._alive()
+                fleet = self._dispatchable()
                 if not fleet and self.workers > 0:
                     try:
                         fleet = [self._replace_worker()]
@@ -1219,6 +1477,7 @@ class ProcessBackend:
                     worker.inflight += 1
                     request_id = self._next_id
                     self._next_id += 1
+                    pending.request_id = request_id
                     self._pending[request_id] = pending
             if not fleet:
                 # Accept-only supervisor (workers=0): wait for a remote
@@ -1275,21 +1534,35 @@ class ProcessBackend:
             elif op == "heartbeat":
                 with self._lock:
                     self._n_heartbeats += 1
+            elif op == "draining":
+                # The worker caught a SIGTERM: same graceful retirement
+                # as a supervisor-side drain() call.
+                self._begin_drain(worker)
             elif op in ("result", "error", "pong"):
                 self._resolve(message, worker)
         self._retire_worker(worker)
 
     def _resolve(self, message: dict, worker: _Worker) -> None:
+        finish = False
         with self._lock:
             pending = self._pending.pop(message["id"], None)
             if pending is None:
-                if message["op"] != "pong":
+                if self._expired.pop(message["id"], None) is not None:
+                    # The late answer to a deadline-expired request: its
+                    # caller is long gone, but the worker's bookkeeping
+                    # (queue depth, drain completion) still needs the
+                    # completion. Deliberately not a duplicate.
+                    worker.inflight = max(0, worker.inflight - 1)
+                    finish = self._drain_ready(worker)
+                elif message["op"] != "pong":
                     # A requeued request answered twice (the original
                     # worker turned out to be alive after a torn
                     # write). The first resolution won; identical by
                     # purity, dropped by design. Late pongs after a
                     # ping timeout are just slow workers, not dups.
                     self._n_duplicate_results += 1
+                if finish:
+                    self._finish_drain(worker)
                 return
             if pending.worker is worker:
                 worker.inflight = max(0, worker.inflight - 1)
@@ -1300,12 +1573,15 @@ class ProcessBackend:
                     if worker.ewma_s is None
                     else (1 - _EWMA_ALPHA) * worker.ewma_s + _EWMA_ALPHA * latency
                 )
+            finish = self._drain_ready(worker)
         if message["op"] == "error":
             pending.resolve(error=WorkerError(message["error"]))
         elif message["op"] == "pong":
             pending.resolve(value=True)
         else:
             pending.resolve(value=message["trace"])
+        if finish:
+            self._finish_drain(worker)
 
     # -- crash recovery ------------------------------------------------------
 
@@ -1329,7 +1605,14 @@ class ProcessBackend:
             ]
             for request_id, _pending in orphaned:
                 del self._pending[request_id]
-            self._n_requeued += len(orphaned)
+            # Deadline-expired work dies with its worker: nobody is
+            # waiting, and the id must not linger as a phantom drain
+            # blocker.
+            self._expired = {
+                request_id: owner
+                for request_id, owner in self._expired.items()
+                if owner is not worker
+            }
             if not closing:
                 try:
                     self._replenish()
@@ -1354,6 +1637,10 @@ class ProcessBackend:
                 if pending.worker is not worker or pending.event.is_set():
                     continue  # the racing dispatcher already moved it
                 pending.worker = None
+                # Counted at the actual re-dispatch, not per orphan: an
+                # orphan that resolved (or expired) in the race window
+                # was not requeued and must not read as one.
+                self._n_requeued += 1
             self._dispatch(pending)
 
     # Pickled as configuration only, like the async backend: a clone in
@@ -1370,6 +1657,8 @@ class ProcessBackend:
             "transport": self.transport,
             "address": self._address_arg,
             "heartbeat_s": self.heartbeat_s,
+            "request_timeout_s": self.request_timeout_s,
+            "fleet_token": self.fleet_token,
         }
 
     def __setstate__(self, state: dict) -> None:

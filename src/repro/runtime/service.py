@@ -61,8 +61,13 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import contextvars
+import os
 import threading
+import time
 import warnings
+from concurrent.futures import TimeoutError as _FutureTimeoutError
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
@@ -92,7 +97,11 @@ __all__ = [
     "MEMORY_TIER",
     "SEGMENT_TIER",
     "SQLITE_TIER",
+    "FLEET_TOKEN_ENV",
     "BackendSpec",
+    "DeadlineExceeded",
+    "deadline_scope",
+    "effective_timeout",
     "GenerationRequest",
     "GenerationBackend",
     "SimulatorBackend",
@@ -122,6 +131,69 @@ TRANSPORTS = (PIPE_TRANSPORT, UNIX_TRANSPORT, TCP_TRANSPORT)
 MEMORY_TIER = "memory"
 SEGMENT_TIER = "segments"
 SQLITE_TIER = "sqlite"
+
+# Shared-secret fallback for ``BackendSpec.fleet_token`` /
+# ``repro-worker --fleet-token``: the operator exports one value on the
+# supervisor host and every worker host instead of threading it through
+# argv (where it would leak into ``ps`` output and shell history).
+FLEET_TOKEN_ENV = "REPRO_FLEET_TOKEN"
+
+
+class DeadlineExceeded(RuntimeError):
+    """A generation batch outlived its per-request deadline.
+
+    Raised by the deadline-aware backends (``async``, ``process``) to the
+    *caller only*: the in-flight work is disowned — its eventual result
+    is discarded without being counted as a duplicate, and a worker
+    crash afterwards will not requeue it — so a timed-out request is
+    never silently duplicated. ``repro-serve`` maps this to HTTP 503.
+    """
+
+    def __init__(self, timeout_s: float, message: "str | None" = None):
+        self.timeout_s = float(timeout_s)
+        super().__init__(
+            message
+            if message is not None
+            else f"generation exceeded its {self.timeout_s:g}s deadline"
+        )
+
+
+# Per-caller deadline override. ``None`` (the default contextvar value)
+# means "no override: use the backend's configured request_timeout_s";
+# a scope carrying ``None`` explicitly *suspends* the deadline, which is
+# how warm-up / fit traffic opts out on the calling thread.
+_UNSET = object()
+_deadline_override: "contextvars.ContextVar[object]" = contextvars.ContextVar(
+    "repro_deadline_override", default=_UNSET
+)
+
+
+@contextlib.contextmanager
+def deadline_scope(timeout_s: "float | None"):
+    """Override the backend deadline for generations on this thread.
+
+    ``deadline_scope(0.05)`` tightens (or sets) the deadline for every
+    ``generate`` call made inside the block on the current thread —
+    ``repro-serve`` uses it for the per-request ``timeout_s`` field.
+    ``deadline_scope(None)`` suspends deadlines entirely (warm-up
+    traffic). Contextvars do not propagate into worker-pool threads, so
+    fan-out code must rely on the backend default instead.
+    """
+    if timeout_s is not None and not float(timeout_s) > 0:
+        raise ValueError("deadline_scope timeout_s must be > 0 (or None)")
+    token = _deadline_override.set(None if timeout_s is None else float(timeout_s))
+    try:
+        yield
+    finally:
+        _deadline_override.reset(token)
+
+
+def effective_timeout(default: "float | None") -> "float | None":
+    """The deadline a backend should apply right now, seconds or None."""
+    override = _deadline_override.get()
+    if override is _UNSET:
+        return default
+    return override  # type: ignore[return-value]
 
 
 def simulator_identity(llm: "TransparentLLM") -> tuple:
@@ -158,6 +230,13 @@ def _nonnegative_float(value: str) -> float:
     return parsed
 
 
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if not parsed > 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError("must be > 0")
+    return parsed
+
+
 @dataclass(frozen=True)
 class BackendSpec:
     """The one description of how generations execute.
@@ -190,6 +269,8 @@ class BackendSpec:
     worker_log_dir: "str | None" = None
     transport: str = PIPE_TRANSPORT
     address: "str | None" = None
+    request_timeout_s: "float | None" = None
+    fleet_token: "str | None" = None
 
     def __post_init__(self):
         if self.kind not in GEN_BACKENDS:
@@ -226,6 +307,10 @@ class BackendSpec:
             raise ValueError("max_pending must be >= 1")
         if self.max_restarts is not None and self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0 (or None for the default)")
+        if self.request_timeout_s is not None and not self.request_timeout_s > 0:
+            raise ValueError("request_timeout_s must be > 0 (or None for no deadline)")
+        if self.fleet_token is not None and not self.fleet_token:
+            raise ValueError("fleet_token must be non-empty (or None for no auth)")
 
     # -- argparse round-trips ------------------------------------------------
 
@@ -301,6 +386,21 @@ class BackendSpec:
             help="process backend: socket listen address (unix:/path or "
             "tcp:host:port; default: an auto-assigned local address)",
         )
+        group.add_argument(
+            "--request-timeout-s",
+            type=_positive_float,
+            default=spec.request_timeout_s,
+            help="async/process backends: per-request deadline in seconds; a "
+            "generation past it fails with DeadlineExceeded (HTTP 503 under "
+            "repro-serve) instead of waiting forever (default: no deadline)",
+        )
+        group.add_argument(
+            "--fleet-token",
+            default=spec.fleet_token,
+            help="process backend: shared secret every socket worker must "
+            "present at hello; unauthenticated connections are dropped "
+            f"(default: the {FLEET_TOKEN_ENV} environment variable, if set)",
+        )
 
     @classmethod
     def from_args(
@@ -327,6 +427,8 @@ class BackendSpec:
             worker_log_dir=getattr(args, "worker_log_dir", None),
             transport=getattr(args, "transport", PIPE_TRANSPORT),
             address=getattr(args, "address", None),
+            request_timeout_s=getattr(args, "request_timeout_s", None),
+            fleet_token=getattr(args, "fleet_token", None),
         )
         if gen_workers is not None:
             spec = replace(spec, workers=int(gen_workers))
@@ -354,6 +456,10 @@ class BackendSpec:
             argv += ["--worker-log-dir", self.worker_log_dir]
         if self.address is not None:
             argv += ["--address", self.address]
+        if self.request_timeout_s is not None:
+            argv += ["--request-timeout-s", repr(self.request_timeout_s)]
+        if self.fleet_token is not None:
+            argv += ["--fleet-token", self.fleet_token]
         return argv
 
     # -- construction --------------------------------------------------------
@@ -374,18 +480,26 @@ class BackendSpec:
                 max_wait_ms=self.max_wait_ms,
                 max_pending=self.max_pending,
                 workers=self.workers,
+                request_timeout_s=self.request_timeout_s,
             )
         if self.kind == PROCESS:
             # Lazy import: remote builds on this module's request types.
             from repro.runtime.remote import ProcessBackend
 
             extra = {} if self.max_restarts is None else {"max_restarts": self.max_restarts}
+            # The env fallback resolves at construction time, on the host
+            # building the supervisor — a spec pickled with
+            # fleet_token=None picks up the token of whatever machine it
+            # lands on, which is exactly what fleet-wide env config wants.
+            token = self.fleet_token or os.environ.get(FLEET_TOKEN_ENV) or None
             return ProcessBackend(
                 llm,
                 workers=self.workers,
                 log_dir=self.worker_log_dir,
                 transport=self.transport,
                 address=self.address,
+                request_timeout_s=self.request_timeout_s,
+                fleet_token=token,
                 **extra,
             )
         return SimulatorBackend(llm, pool=pool)
@@ -504,6 +618,7 @@ class AsyncBatchedBackend:
         max_wait_ms: float = 2.0,
         max_pending: int = 256,
         workers: int = 4,
+        request_timeout_s: "float | None" = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -513,11 +628,16 @@ class AsyncBatchedBackend:
             raise ValueError("max_pending must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if request_timeout_s is not None and not request_timeout_s > 0:
+            raise ValueError("request_timeout_s must be > 0 (or None)")
         self.inner = inner
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.max_pending = int(max_pending)
         self.workers = int(workers)
+        self.request_timeout_s = (
+            None if request_timeout_s is None else float(request_timeout_s)
+        )
         self._lock = threading.Lock()
         self._started = False
         self._loop: "asyncio.AbstractEventLoop | None" = None
@@ -654,7 +774,23 @@ class AsyncBatchedBackend:
             asyncio.run_coroutine_threadsafe(self._submit(request), self._loop)
             for request in requests
         ]
-        return [handle.result() for handle in handles]
+        timeout = effective_timeout(self.request_timeout_s)
+        if timeout is None:
+            return [handle.result() for handle in handles]
+        deadline = time.monotonic() + timeout
+        results = []
+        for handle in handles:
+            try:
+                results.append(handle.result(max(0.0, deadline - time.monotonic())))
+            except _FutureTimeoutError:
+                # Disown the whole batch: cancelling the submit
+                # coroutines unblocks queued requests immediately;
+                # batches already running resolve futures nobody reads
+                # (``_run_batch`` checks ``future.done()`` first).
+                for pending in handles:
+                    pending.cancel()
+                raise DeadlineExceeded(timeout) from None
+        return results
 
     async def _submit(self, request: GenerationRequest) -> GenerationTrace:
         future = asyncio.get_running_loop().create_future()
@@ -727,6 +863,7 @@ class AsyncBatchedBackend:
             "max_wait_ms": self.max_wait_ms,
             "max_pending": self.max_pending,
             "workers": self.workers,
+            "request_timeout_s": self.request_timeout_s,
         }
 
     def __setstate__(self, state: dict) -> None:

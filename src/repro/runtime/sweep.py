@@ -25,7 +25,11 @@ cheap to re-run:
 Determinism contract: a unit's summary is a pure function of the spec
 (seeds, scale, axes), never of shard assignment, worker count, process
 boundaries or cache warmth — that is what the merge byte-identity test
-and the CI ``sweep-smoke`` job pin down.
+and the CI ``sweep-smoke`` job pin down. The backend configuration a
+shard ships with (one :class:`~repro.runtime.service.BackendSpec`,
+including the ``request_timeout_s`` deadline and ``fleet_token``
+worker-auth knobs) pickles to shards unchanged and never affects unit
+bytes. Operator docs: ``README.md`` and ``docs/``.
 """
 
 from __future__ import annotations

@@ -84,6 +84,9 @@ def test_defaults_are_a_valid_simulator_spec():
         {"max_wait_ms": -1.0},
         {"max_pending": 0},
         {"max_restarts": -1},
+        {"request_timeout_s": 0.0},
+        {"request_timeout_s": -1.5},
+        {"fleet_token": ""},
     ],
 )
 def test_invalid_specs_fail_at_construction(kwargs):
@@ -138,6 +141,8 @@ def specs(draw) -> BackendSpec:
         worker_log_dir=draw(st.one_of(st.none(), st.just("out/worker-logs"))),
         transport=transport,
         address=address,
+        request_timeout_s=draw(st.sampled_from([None, 0.05, 0.5, 30.0])),
+        fleet_token=draw(st.one_of(st.none(), st.just("s3cret"))),
     )
 
 
@@ -197,6 +202,43 @@ def test_make_backend_dispatches_on_kind():
     assert process.transport == UNIX_TRANSPORT
     assert process.max_restarts == 3
     process.close()
+
+
+def test_fleet_token_env_resolves_at_make_backend_not_from_args(monkeypatch):
+    """$REPRO_FLEET_TOKEN is a deploy-time fallback: it must not leak
+    into the spec (which round-trips through CLI args exactly), only
+    into the backend it builds."""
+    from repro.runtime.remote import ProcessBackend
+    from repro.runtime.service import FLEET_TOKEN_ENV
+
+    monkeypatch.setenv(FLEET_TOKEN_ENV, "env-fleet-token")
+    spec = BackendSpec.from_args(parse(["--backend", PROCESS]))
+    assert spec.fleet_token is None  # CLI round-trip stays env-independent
+    backend = spec.make_backend(TransparentLLM(seed=11))
+    try:
+        assert isinstance(backend, ProcessBackend)
+        assert backend.fleet_token == "env-fleet-token"
+    finally:
+        backend.close()
+    # An explicit --fleet-token wins over the environment.
+    explicit = BackendSpec.from_args(
+        parse(["--backend", PROCESS, "--fleet-token", "cli-token"])
+    )
+    assert explicit.fleet_token == "cli-token"
+
+
+def test_request_timeout_flows_into_both_backends():
+    llm = TransparentLLM(seed=11)
+    async_backend = BackendSpec(kind=ASYNC, request_timeout_s=2.5).make_backend(llm)
+    assert async_backend.request_timeout_s == 2.5
+    from repro.runtime.remote import ProcessBackend
+
+    process = BackendSpec(kind=PROCESS, request_timeout_s=0.25).make_backend(llm)
+    try:
+        assert isinstance(process, ProcessBackend)
+        assert process.request_timeout_s == 0.25
+    finally:
+        process.close()
 
 
 def test_spec_build_wires_a_service():

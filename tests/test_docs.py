@@ -1,0 +1,77 @@
+"""Tests for the docs-vs-``--help`` gate (scripts/check_docs_flags.py).
+
+The operator docs promise CLI invocations in their code blocks; the
+gate fails CI whenever a documented flag is not reported by that CLI's
+``--help``. These tests pin the gate itself: the shipped docs are
+clean, a fabricated flag is caught, non-repro commands are ignored,
+and subcommand flags count as documented.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_flags", REPO / "scripts" / "check_docs_flags.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_four_docs_exist():
+    for name in ("README.md", "docs/architecture.md", "docs/operations.md",
+                 "docs/http-api.md"):
+        assert (REPO / name).is_file(), f"{name} is missing"
+
+
+def test_shipped_docs_pass_the_gate(gate):
+    assert gate.scan() == []
+
+
+def test_fabricated_flag_is_caught(gate, tmp_path):
+    doc = tmp_path / "bad.md"
+    doc.write_text(
+        "# Bad\n\n```bash\nrepro-serve --port 8080 --turbo-mode full\n```\n"
+    )
+    violations = gate.scan([doc])
+    assert len(violations) == 1
+    assert "--turbo-mode" in violations[0] and "repro-serve" in violations[0]
+
+
+def test_backslash_continuations_resolve_to_one_command(gate, tmp_path):
+    doc = tmp_path / "cont.md"
+    doc.write_text(
+        "```bash\nrepro-run --benchmark bird \\\n    --no-such-flag 1\n```\n"
+    )
+    (violation,) = gate.scan([doc])
+    assert "--no-such-flag" in violation and "repro-run" in violation
+
+
+def test_non_repro_commands_and_prose_are_ignored(gate, tmp_path):
+    doc = tmp_path / "ok.md"
+    doc.write_text(
+        "Prose may mention --whatever-it-likes freely.\n\n"
+        "```bash\ncurl --fail-with-body http://x/healthz\n"
+        "kill -TERM 123\n```\n"
+    )
+    assert gate.scan([doc]) == []
+
+
+def test_subcommand_flags_count(gate, tmp_path):
+    doc = tmp_path / "sub.md"
+    doc.write_text("```bash\nrepro-cache compact --cache-dir out/gen --force\n```\n")
+    assert gate.scan([doc]) == []  # --force lives on the compact subparser
+
+
+def test_missing_doc_is_a_violation(gate, tmp_path):
+    violations = gate.scan([tmp_path / "ghost.md"])
+    assert violations and "missing" in violations[0]

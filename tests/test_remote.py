@@ -470,3 +470,188 @@ def test_run_cli_process_backend_matches_simulator_summary(tmp_path, capsys, mon
     assert process["backend"] == "process"
     assert simulator["summary"] == process["summary"]
     assert sorted(log_dir.glob("worker-*.log"))  # logs captured via the CLI
+
+
+# -- SLO hardening: deadlines, draining, fleet auth ---------------------------
+
+
+def test_deadline_expiry_disowns_without_duplicates(table_instances, monkeypatch):
+    """A request past --request-timeout-s fails with DeadlineExceeded;
+    the in-flight generation is disowned (not requeued, not restarted)
+    and its late result is absorbed without counting as a duplicate."""
+    from repro.runtime.service import DeadlineExceeded, deadline_scope
+
+    monkeypatch.setenv(CHAOS_DELAY_ENV, "200")
+    with ProcessBackend(
+        TransparentLLM(seed=11), workers=1, request_timeout_s=0.05
+    ) as backend:
+        with pytest.raises(DeadlineExceeded) as info:
+            backend.generate([GenerationRequest(FREE, table_instances[0])])
+        assert info.value.timeout_s == 0.05
+        # The worker is still sane: an undeadlined follow-up on the same
+        # (single) worker queues behind the disowned generation and
+        # completes byte-identically.
+        with deadline_scope(None):
+            traces = backend.generate([GenerationRequest(FREE, table_instances[1])])
+        assert_traces_equal(
+            traces[0], TransparentLLM(seed=11).generate(table_instances[1])
+        )
+        stats = backend.stats
+    assert stats.n_deadline_exceeded == 1
+    assert stats.n_duplicate_results == 0  # the late result was absorbed
+    assert stats.n_requeued == 0  # disowned, never re-dispatched
+    assert stats.n_restarts == 0  # the worker was never punished
+
+
+def test_drain_during_burst_finishes_inflight_with_zero_requeues(
+    reference_traces, monkeypatch
+):
+    """drain(worker_id) mid-burst: the drained worker finishes what it
+    holds, new dispatch avoids it, a replacement spawns outside the
+    restart budget, and the batch completes bit-identically with zero
+    requeues and zero duplicates."""
+    requests, reference = reference_traces
+    monkeypatch.setenv(CHAOS_DELAY_ENV, "40")
+    with ProcessBackend(
+        TransparentLLM(seed=11), workers=2, transport="unix"
+    ) as backend:
+        assert len(backend.ping()) == 2
+        victim_index = backend.worker_snapshot()[0]["index"]
+        victim_pid = backend.worker_pids()[0]
+        drained: list = []
+        timer = threading.Timer(0.2, lambda: drained.append(backend.drain(victim_index)))
+        timer.start()
+        try:
+            traces = backend.generate(requests)
+        finally:
+            timer.cancel()
+        assert drained == [True]
+        deadline = time.monotonic() + 10.0
+        while backend.stats.n_drained < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stats = backend.stats
+        snapshot = backend.worker_snapshot()
+    assert len(traces) == len(requests)
+    for a, b in zip(reference, traces):
+        assert_traces_equal(a, b)  # nothing lost, duplicated, or reordered
+    assert stats.n_drained == 1
+    assert stats.n_requeued == 0  # graceful: in-flight work finished in place
+    assert stats.n_duplicate_results == 0
+    assert stats.n_restarts == 0  # the rotation spent no restart budget
+    assert stats.n_spawned == 3  # 2 initial + 1 replacement
+    assert victim_index not in [entry["index"] for entry in snapshot]
+    assert wait_for_exit(victim_pid)
+
+
+def test_drain_rejects_unknown_worker_id():
+    with ProcessBackend(TransparentLLM(seed=11), workers=1) as backend:
+        backend.start()
+        assert backend.drain(worker_id=999) is False
+
+
+def test_sigterm_drains_an_external_socket_worker(table_instances):
+    """SIGTERM to repro-worker = graceful drain: it announces draining,
+    finishes in-flight work, and exits 0 once the supervisor releases it
+    — zero requeues. The worker authenticates via $REPRO_FLEET_TOKEN."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro.runtime.remote as remote_module
+    from repro.runtime.service import FLEET_TOKEN_ENV
+
+    backend = ProcessBackend(
+        TransparentLLM(seed=11), workers=0, transport="tcp", fleet_token="s3cret"
+    )
+    proc = None
+    try:
+        backend.start()
+        address = backend.address
+        env = dict(os.environ)
+        src_root = str(Path(remote_module.__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+        )
+        env[FLEET_TOKEN_ENV] = "s3cret"  # env fallback for --fleet-token
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.remote", "--connect", address],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        requests = mixed_requests(table_instances[:2])
+        traces = backend.generate(requests)
+        reference = SimulatorBackend(TransparentLLM(seed=11)).generate(requests)
+        for a, b in zip(reference, traces):
+            assert_traces_equal(a, b)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=15) == 0  # polite shutdown, not a kill
+        deadline = time.monotonic() + 10.0
+        while backend.stats.n_drained < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stats = backend.stats
+        assert stats.n_drained == 1
+        assert stats.n_requeued == 0
+        assert stats.n_alive == 0
+    finally:
+        backend.close()
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_fleet_token_gates_external_hellos():
+    """Wrong or missing fleet tokens are rejected at hello with a
+    goodbye frame and a closed channel; the right token gets init."""
+    from repro.runtime.remote import SocketTransport, connect_address
+
+    backend = ProcessBackend(
+        TransparentLLM(seed=11), workers=0, transport="tcp", fleet_token="s3cret"
+    )
+    try:
+        backend.start()
+        address = backend.address
+
+        def hello(token) -> SocketTransport:
+            transport = SocketTransport(connect_address(address))
+            transport.send(
+                {
+                    "op": "hello",
+                    "pid": os.getpid(),
+                    "host": "test",
+                    "token": token,
+                    "capabilities": {"kinds": [FREE, FORCED]},
+                }
+            )
+            return transport
+
+        for bad in ("wrong", None):
+            transport = hello(bad)
+            reply = transport.recv()
+            assert reply is not None and reply["op"] == "goodbye"
+            assert "fleet token" in reply["reason"]
+            assert transport.recv() is None  # channel closed behind it
+            transport.close()
+        assert backend.stats.n_rejected_hellos == 2
+        assert backend.stats.n_alive == 0  # nothing joined
+
+        transport = hello("s3cret")
+        init = transport.recv()
+        assert init is not None and init["op"] == "init"
+        transport.close()
+    finally:
+        backend.close()
+
+
+def test_fleet_token_does_not_block_supervisor_spawned_workers(table_instances):
+    """Locally-spawned workers authenticate with one-shot spawn tokens,
+    so turning on --fleet-token never breaks the supervisor's own fleet."""
+    with ProcessBackend(
+        TransparentLLM(seed=11), workers=1, transport="unix", fleet_token="s3cret"
+    ) as backend:
+        assert len(backend.ping()) == 1
+        traces = backend.generate([GenerationRequest(FREE, table_instances[0])])
+        assert_traces_equal(
+            traces[0], TransparentLLM(seed=11).generate(table_instances[0])
+        )

@@ -329,9 +329,45 @@ def test_async_backend_rejects_bad_config():
         {"max_wait_ms": -1.0},
         {"max_pending": 0},
         {"workers": 0},
+        {"request_timeout_s": 0.0},
     ):
         with pytest.raises(ValueError):
             AsyncBatchedBackend(inner, **kwargs)
+
+
+def test_async_backend_deadline_expires_then_recovers(table_instances):
+    """A generation slower than request_timeout_s raises DeadlineExceeded
+    with the timeout attached; a deadline_scope(None) retry on the same
+    backend still answers (the worker pool is not poisoned)."""
+    from repro.runtime.service import DeadlineExceeded, deadline_scope
+
+    with AsyncBatchedBackend(
+        SlowBackend(SimulatorBackend(TransparentLLM(seed=11)), delay_s=0.5),
+        max_wait_ms=1.0,
+        workers=1,
+        request_timeout_s=0.05,
+    ) as backend:
+        with pytest.raises(DeadlineExceeded) as info:
+            backend.generate([GenerationRequest(FREE, table_instances[0])])
+        assert info.value.timeout_s == 0.05
+        with deadline_scope(None):  # suspend the deadline for this call
+            results = backend.generate([GenerationRequest(FREE, table_instances[1])])
+        assert len(results) == 1
+
+
+def test_deadline_scope_overrides_and_restores():
+    from repro.runtime.service import deadline_scope, effective_timeout
+
+    assert effective_timeout(7.0) == 7.0
+    with deadline_scope(0.25):
+        assert effective_timeout(7.0) == 0.25
+        with deadline_scope(None):
+            assert effective_timeout(7.0) is None
+        assert effective_timeout(7.0) == 0.25
+    assert effective_timeout(7.0) == 7.0
+    with pytest.raises(ValueError):
+        with deadline_scope(0.0):
+            pass
 
 
 # -- service tiering ----------------------------------------------------------
