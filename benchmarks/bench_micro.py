@@ -322,3 +322,203 @@ def test_bench_synthesis_incremental_session_forced(benchmark, synthesis_instanc
         return out
 
     benchmark(run)
+
+
+# -- store round-trip: base64-JSON codec vs binary sidecar + mmap --------------
+#
+# The same wide traces written once per codec, then warm L2 reads
+# (probe_disk + record_to_trace against a prebuilt store) timed per
+# round. The base64 rows decode-and-copy every hidden block; the binary
+# rows rehydrate `hidden_stack` as a zero-copy view over a shared mmap
+# of the `.bin` sidecar. Compare the "store-roundtrip" group's warm-read
+# rows — `scripts/dev.sh bench-smoke` prints the speedup ratio, and the
+# acceptance bar is >= 5x. Payload bytes ride in `extra_info` so the
+# JSON artifact can report MB/s.
+
+
+@pytest.fixture(scope="module")
+def store_traces(synthesis_instances):
+    llm = TransparentLLM(seed=11)
+    return [llm.teacher_forced_trace(i) for i in synthesis_instances]
+
+
+@pytest.fixture(scope="module")
+def store_payload_bytes(store_traces):
+    return int(sum(t.hidden_matrix().nbytes for t in store_traces))
+
+
+@pytest.fixture(scope="module")
+def store_root(store_traces, tmp_path_factory):
+    from repro.runtime.persist import PersistentGenerationCache
+
+    root = tmp_path_factory.mktemp("bench-store")
+    for codec in ("base64", "binary"):
+        cache = PersistentGenerationCache(
+            root / codec, namespace="bench", codec=codec
+        )
+        for trace in store_traces:
+            cache.get_or_compute(
+                (trace.instance_id, "forced"), lambda t=trace: t
+            )
+        cache.close()
+    return root
+
+
+@pytest.fixture(scope="module")
+def store_readers(store_root, store_traces):
+    from repro.runtime.persist import PersistentGenerationCache
+
+    readers = {}
+    for codec in ("base64", "binary"):
+        cache = PersistentGenerationCache(store_root / codec, namespace="bench")
+        addresses = [
+            cache.address((t.instance_id, "forced")) for t in store_traces
+        ]
+        readers[codec] = (cache, addresses)
+    yield readers
+    for cache, _ in readers.values():
+        cache.close()
+
+
+def _warm_read_all(cache, addresses):
+    out = []
+    for address in addresses:
+        record, tier = cache.probe_disk(address)
+        assert record is not None, (address, tier)
+        out.append(cache.record_to_trace(record))
+    return out
+
+
+@pytest.mark.benchmark(group="store-roundtrip")
+def test_bench_store_encode_base64(benchmark, store_traces):
+    from repro.runtime.persist import trace_to_record
+
+    benchmark(lambda: [trace_to_record(t) for t in store_traces])
+
+
+@pytest.mark.benchmark(group="store-roundtrip")
+def test_bench_store_decode_base64(benchmark, store_traces):
+    from repro.runtime.persist import trace_from_record, trace_to_record
+
+    records = [trace_to_record(t) for t in store_traces]
+    benchmark(lambda: [trace_from_record(r) for r in records])
+
+
+@pytest.mark.benchmark(group="store-roundtrip")
+def test_bench_store_warm_read_base64(
+    benchmark, store_readers, store_payload_bytes
+):
+    cache, addresses = store_readers["base64"]
+    _warm_read_all(cache, addresses)  # touch pages outside the timed region
+    benchmark(lambda: _warm_read_all(cache, addresses))
+    benchmark.extra_info["payload_bytes"] = store_payload_bytes
+    benchmark.extra_info["traces"] = len(addresses)
+
+
+@pytest.mark.benchmark(group="store-roundtrip")
+def test_bench_store_warm_read_binary(
+    benchmark, store_readers, store_payload_bytes
+):
+    cache, addresses = store_readers["binary"]
+    traces = _warm_read_all(cache, addresses)  # warm the shared mmap
+    assert all(
+        t.hidden_stack is not None and not t.hidden_stack.flags.writeable
+        for t in traces
+    ), "binary warm reads must rehydrate read-only zero-copy views"
+    benchmark(lambda: _warm_read_all(cache, addresses))
+    benchmark.extra_info["payload_bytes"] = store_payload_bytes
+    benchmark.extra_info["traces"] = len(addresses)
+
+
+# -- IPC throughput: pipe vs socket vs shared-memory data plane ----------------
+#
+# The same wide teacher-forced workload through a one-worker
+# ProcessBackend on each transport, with the shared-memory data plane on
+# and off. The worker's LLM is wrapped in CachingLLM and the fleet is
+# warmed with one untimed sweep, so the timed rounds are
+# serialization-bound: they measure moving traces across the process
+# boundary, not resynthesizing them. The inline rows pickle whole traces
+# through the framed channel; the shm rows ship hidden stacks through
+# the worker's arena as (offset, length, dtype, shape) descriptors and
+# keep only control messages on the channel. Compare the
+# "ipc-throughput" group's rows — `scripts/dev.sh bench-smoke` prints
+# the shm-vs-pipe ratio and MB/s from `extra_info`.
+
+
+@pytest.fixture(scope="module")
+def ipc_requests(synthesis_instances):
+    from repro.runtime.service import FORCED, GenerationRequest
+
+    return [GenerationRequest(FORCED, i) for i in synthesis_instances]
+
+
+@pytest.fixture(scope="module")
+def ipc_payload_bytes(store_traces):
+    return int(sum(t.hidden_matrix().nbytes for t in store_traces))
+
+
+def _bench_ipc(benchmark, requests, payload_bytes, *, transport, shared_memory):
+    from repro.runtime.remote import ProcessBackend
+
+    with ProcessBackend(
+        CachingLLM(TransparentLLM(seed=11)),
+        workers=1,
+        transport=transport,
+        shared_memory=shared_memory,
+    ) as backend:
+        backend.ping()  # workers booted outside the timed region
+        backend.generate(requests)  # warm the worker-side cache untimed
+        benchmark(lambda: backend.generate(requests))
+        stats = backend.stats
+    if shared_memory:
+        assert stats.n_shm_results > 0, "arena never engaged"
+    else:
+        assert stats.n_shm_results == 0
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    benchmark.extra_info["traces"] = len(requests)
+    benchmark.extra_info["n_shm_results"] = stats.n_shm_results
+    benchmark.extra_info["n_shm_bytes"] = stats.n_shm_bytes
+
+
+@pytest.mark.benchmark(group="ipc-throughput")
+def test_bench_ipc_pipe_inline(benchmark, ipc_requests, ipc_payload_bytes):
+    _bench_ipc(
+        benchmark,
+        ipc_requests,
+        ipc_payload_bytes,
+        transport="pipe",
+        shared_memory=False,
+    )
+
+
+@pytest.mark.benchmark(group="ipc-throughput")
+def test_bench_ipc_pipe_shm(benchmark, ipc_requests, ipc_payload_bytes):
+    _bench_ipc(
+        benchmark,
+        ipc_requests,
+        ipc_payload_bytes,
+        transport="pipe",
+        shared_memory=True,
+    )
+
+
+@pytest.mark.benchmark(group="ipc-throughput")
+def test_bench_ipc_unix_inline(benchmark, ipc_requests, ipc_payload_bytes):
+    _bench_ipc(
+        benchmark,
+        ipc_requests,
+        ipc_payload_bytes,
+        transport="unix",
+        shared_memory=False,
+    )
+
+
+@pytest.mark.benchmark(group="ipc-throughput")
+def test_bench_ipc_unix_shm(benchmark, ipc_requests, ipc_payload_bytes):
+    _bench_ipc(
+        benchmark,
+        ipc_requests,
+        ipc_payload_bytes,
+        transport="unix",
+        shared_memory=True,
+    )

@@ -9,7 +9,8 @@
 #   scripts/dev.sh sweep-smoke   # sharded sweep + warm-cache + merge identity
 #   scripts/dev.sh service-smoke # simulator/async/process byte identity,
 #                                # kill-one-worker crash recovery, compacted
-#                                # SQLite-indexed warm run with zero misses
+#                                # SQLite-indexed warm run with zero misses,
+#                                # legacy base64 store read + migrate in place
 #   scripts/dev.sh serve-smoke   # repro-serve over two unix-socket workers
 #                                # with deadlines + fleet/bearer tokens:
 #                                # deadline 503s without duplicates, HTTP
@@ -47,23 +48,40 @@ bench_smoke() {
     --benchmark-min-rounds=1 --benchmark-warmup=off --benchmark-max-time=0.1 \
     --benchmark-json=out/bench-smoke.json
 
-  # Surface the trace-synthesis speedup (vectorized two-phase vs the
-  # scalar per-token oracle) in the job log so regressions are visible.
+  # Surface the headline ratios (vectorized trace synthesis, binary
+  # store warm reads, shared-memory IPC) in the job log so regressions
+  # are visible without opening the JSON artifact.
   python - out/bench-smoke.json <<'PY'
 import json
 import sys
 
-rows = {
-    bench["name"]: bench["stats"]["mean"]
-    for bench in json.load(open(sys.argv[1]))["benchmarks"]
-    if bench.get("group") == "trace-synthesis"
-}
+benchmarks = json.load(open(sys.argv[1]))["benchmarks"]
+rows = {bench["name"]: bench["stats"]["mean"] for bench in benchmarks}
+extra = {bench["name"]: bench.get("extra_info", {}) for bench in benchmarks}
+
 for mode in ("forced", "free"):
     scalar = rows.get(f"test_bench_synthesis_scalar_{mode}")
     fast = rows.get(f"test_bench_synthesis_vectorized_{mode}")
     if scalar and fast:
         print(f"trace-synthesis {mode}: {scalar / fast:.1f}x "
               f"(scalar {scalar * 1e3:.1f}ms -> vectorized {fast * 1e3:.1f}ms)")
+
+b64 = rows.get("test_bench_store_warm_read_base64")
+raw = rows.get("test_bench_store_warm_read_binary")
+if b64 and raw:
+    nbytes = extra["test_bench_store_warm_read_binary"].get("payload_bytes", 0)
+    print(f"store-roundtrip warm read: {b64 / raw:.1f}x "
+          f"(base64 {b64 * 1e3:.1f}ms -> binary mmap {raw * 1e3:.1f}ms, "
+          f"{nbytes / raw / 1e6:.0f} MB/s)")
+
+pipe = rows.get("test_bench_ipc_pipe_inline")
+shm = rows.get("test_bench_ipc_pipe_shm")
+if pipe and shm:
+    nbytes = extra["test_bench_ipc_pipe_shm"].get("payload_bytes", 0)
+    traces = extra["test_bench_ipc_pipe_shm"].get("traces", 0)
+    print(f"ipc-throughput pipe: {pipe / shm:.1f}x "
+          f"(inline {pipe * 1e3:.1f}ms -> shm {shm * 1e3:.1f}ms, "
+          f"{nbytes / shm / 1e6:.0f} MB/s, {traces / shm:.0f} traces/s)")
 PY
 }
 
@@ -207,8 +225,51 @@ assert stats[namespace]["indexed"], f"compaction built no index: {stats}"
 assert stats[namespace]["segments"] == 1, f"compaction left segments: {stats}"
 print(f"service-smoke OK: warm={warm} store={stats[namespace]}")
 PY
+
+  # Legacy-store migration: a cold run writes with the legacy base64
+  # codec, the current code reads it warm (byte-identical summary,
+  # zero misses), `repro-cache migrate` transcodes every record to the
+  # binary layout, and a final warm run against the migrated store is
+  # still fully hit and byte-identical.
+  REPRO_STORE_CODEC=base64 run "${axes[@]}" --backend simulator \
+    --artifact "$out/legacy-cold.jsonl" --cache-dir "$out/gen-legacy" \
+    > "$out/legacy-cold.json"
+  cmp "$out/sim.jsonl.summary.json" "$out/legacy-cold.jsonl.summary.json"
+  run "${axes[@]}" --backend simulator --artifact "$out/legacy-warm.jsonl" \
+    --cache-dir "$out/gen-legacy" > "$out/legacy-warm.json"
+  cmp "$out/sim.jsonl.summary.json" "$out/legacy-warm.jsonl.summary.json"
+  cache stats --cache-dir "$out/gen-legacy" > "$out/legacy-stats-before.json"
+  cache migrate --cache-dir "$out/gen-legacy" > "$out/legacy-migrate.json"
+  cache stats --cache-dir "$out/gen-legacy" > "$out/legacy-stats-after.json"
+  run "${axes[@]}" --backend simulator --artifact "$out/migrated-warm.jsonl" \
+    --cache-dir "$out/gen-legacy" > "$out/migrated-warm.json"
+  cmp "$out/sim.jsonl.summary.json" "$out/migrated-warm.jsonl.summary.json"
+
+  python - "$out" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+out = Path(sys.argv[1])
+before = json.loads((out / "legacy-stats-before.json").read_text())["namespaces"]
+(namespace,) = before
+codecs = before[namespace]["codecs"]
+assert set(codecs) == {"base64"}, f"legacy store not pure base64: {codecs}"
+migrate = json.loads((out / "legacy-migrate.json").read_text())["compacted"]
+transcoded = migrate[namespace]["transcoded"]
+assert transcoded > 0, f"migrate transcoded nothing: {migrate}"
+after = json.loads((out / "legacy-stats-after.json").read_text())["namespaces"]
+codecs = after[namespace]["codecs"]
+assert set(codecs) == {"binary"}, f"migration left legacy records: {codecs}"
+for path in ("legacy-warm.json", "migrated-warm.json"):
+    warm = json.loads((out / path).read_text())["generation_cache"]
+    assert warm["misses"] == 0, f"{path}: warm run recomputed generations: {warm}"
+print(f"legacy-store migration OK: {transcoded} records transcoded, "
+      f"store now {codecs}")
+PY
   echo "service-smoke passed: backends byte-identical (incl. process)," \
-       "kill-one-worker recovery clean, compacted+indexed warm run fully hit"
+       "kill-one-worker recovery clean, compacted+indexed warm run fully hit," \
+       "legacy base64 store read+migrated in place with summaries unchanged"
 }
 
 serve_smoke() {

@@ -12,37 +12,56 @@ Store layout
 ``cache_dir/`` holds one subdirectory per *namespace* (a digest of the
 simulated LLM's configuration and seed — generations from differently
 seeded models must never alias), each containing append-only JSONL
-*segment* files::
+*manifest* segments paired with raw binary *sidecars*::
 
     cache_dir/
       <namespace>/
-        w-<pid>-<nonce>.jsonl    # one segment per writer instance
+        format.json              # store format version marker
+        w-<pid>-<nonce>.jsonl    # one manifest segment per writer instance
+        w-<pid>-<nonce>.bin      # its tensor sidecar (binary codec)
         c-<pid>-<nonce>.jsonl    # a compacted segment (see compact())
+        c-<pid>-<nonce>.bin
 
-Each line is one entry ``{"k": <address>, "kind": ..., "v": <trace>}``.
-The address is a 128-bit blake2b digest over (namespace, cache key) —
-the full identity of one generation input, including the candidate
-universe via :func:`~repro.runtime.cache.instance_key` — so an entry is
-immutable by construction: the same address always maps to the same
-value, and duplicate writes are harmless.
+Each manifest line is one entry ``{"k": <address>, "kind": ..., "v":
+<trace record>}``. The address is a 128-bit blake2b digest over
+(namespace, cache key) — the full identity of one generation input,
+including the candidate universe via
+:func:`~repro.runtime.cache.instance_key` — so an entry is immutable by
+construction: the same address always maps to the same value, and
+duplicate writes are harmless.
+
+Tensor payloads (the dominant bytes) live in the ``.bin`` sidecar as
+raw little-endian contiguous blocks; the manifest line carries only the
+step metadata plus a ``{"bin", "offset", "length", "dtype", "shape"}``
+descriptor. Readers memory-map the sidecar once and rehydrate
+``hidden_stack`` as a zero-copy ``np.frombuffer`` view over the map —
+a warm store hit costs a point lookup plus a view, not a
+decode-and-copy. Legacy stores that inline tensors as base64 blocks
+(format v1, written by ``codec="base64"``) stay fully readable, and
+:meth:`PersistentGenerationCache.compact` transcodes them to binary.
 
 Concurrency
 -----------
 Writers never touch each other's files: every cache instance lazily
-creates its own uniquely named segment and appends complete lines under
-an in-process lock, flushing per entry. Readers scan every segment in
-the namespace, remember per-file byte offsets so refreshes only read
-appended tails, and tolerate a truncated final line (a writer killed
-mid-append) by leaving it for the next refresh. No file locks are
-needed because segments are single-writer and entries are immutable.
+creates its own uniquely named segment (manifest + sidecar) and appends
+complete records under an in-process lock, flushing per entry. The
+sidecar bytes are written and flushed *before* the manifest line, so a
+manifest entry implies its tensor block is present. Readers scan every
+manifest in the namespace, remember per-file byte offsets so refreshes
+only read appended tails, and tolerate both a truncated final line and
+a manifest entry whose sidecar bytes have not landed yet (a writer
+killed mid-append) by leaving the tail for the next refresh. No file
+locks are needed because segments are single-writer and entries are
+immutable.
 
 Values round-trip *exactly*: a trace's hidden states are stored
-columnar — the whole ``(n_steps, n_layers, dim)`` tensor as one base64
-block with dtype and shape (one encode/decode per trace, matching the
-simulator's columnar ``GenerationTrace``) — so a trace rehydrated from
-disk is bit-identical to the one computed, which is what makes sharded
-sweeps byte-identical to unsharded ones even when probes are trained
-from cached traces. Legacy per-step-blob records (pre-``hidden-v2``
+columnar — the whole ``(n_steps, n_layers, dim)`` tensor as one
+contiguous little-endian block with dtype and shape (one write, one
+mmap view per trace, matching the simulator's columnar
+``GenerationTrace``) — so a trace rehydrated from disk is bit-identical
+to the one computed, which is what makes sharded sweeps byte-identical
+to unsharded ones even when probes are trained from cached traces.
+Legacy base64 blocks and per-step-blob records (pre-``hidden-v2``
 stores) are still readable.
 
 The SQLite index tier
@@ -72,6 +91,17 @@ are swept up; locks from other hosts cannot be probed and count as
 active. ``force=True`` (the CLI's ``--force``) overrides the guard for
 operators who know the writers are actually gone.
 
+Format versioning
+-----------------
+Every writer stamps the namespace with a ``format.json`` marker
+(currently ``STORE_FORMAT_VERSION == 2``). Older stores (no marker,
+or a lower version) are read-compatible and upgraded in place the
+first time a new writer appends; a marker from a *future* version
+makes writers refuse with :class:`RuntimeError` so two formats are
+never mix-written into one namespace. ``compact()`` rewrites every
+record into the current binary format, which is how legacy base64
+stores migrate (``repro-cache migrate``).
+
 Eviction
 --------
 None, by design: entries are content-addressed and immutable, so the
@@ -86,6 +116,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import mmap
 import os
 import socket
 import sqlite3
@@ -98,8 +129,13 @@ from repro.llm.model import GenerationStep, GenerationTrace
 from repro.runtime.cache import _MISS, CacheStats, GenerationCache
 
 __all__ = [
+    "BASE64_CODEC",
+    "BINARY_CODEC",
+    "CODEC_ENV",
+    "FORMAT_MARKER",
     "INDEX_NAME",
     "LOCK_SUFFIX",
+    "STORE_FORMAT_VERSION",
     "PersistentGenerationCache",
     "SqliteSegmentIndex",
     "WriterActiveError",
@@ -112,6 +148,14 @@ __all__ = [
 
 INDEX_NAME = "index.sqlite"
 LOCK_SUFFIX = ".lock"
+BIN_SUFFIX = ".bin"
+FORMAT_MARKER = "format.json"
+#: v1 = inline base64 tensors; v2 = binary ``.bin`` sidecars + manifest.
+STORE_FORMAT_VERSION = 2
+BASE64_CODEC = "base64"
+BINARY_CODEC = "binary"
+#: Env override for the default write codec (smokes exercise legacy writes).
+CODEC_ENV = "REPRO_STORE_CODEC"
 
 
 class WriterActiveError(RuntimeError):
@@ -180,6 +224,33 @@ def generation_namespace(*identity) -> str:
     return f"llm-{digest.hexdigest()}"
 
 
+def _check_store_format(directory: Path, stamp: bool) -> None:
+    """Refuse to write into a future-format namespace; stamp ours if asked.
+
+    Binary writers (and ``compact()``) stamp the namespace with the
+    current :data:`STORE_FORMAT_VERSION`; legacy ``codec="base64"``
+    writers only enforce the ceiling — older layouts are readable by
+    newer code, so they never need to claim the version.
+    """
+    marker = directory / FORMAT_MARKER
+    try:
+        version = int(json.loads(marker.read_text()).get("version", 1))
+    except FileNotFoundError:
+        version = None
+    except (OSError, ValueError, TypeError):
+        version = None  # unreadable marker: treat as unstamped, restamp
+    if version is not None and version > STORE_FORMAT_VERSION:
+        raise RuntimeError(
+            f"store namespace {directory.name!r} is format v{version}, newer "
+            f"than this code's v{STORE_FORMAT_VERSION}; refusing to write a "
+            "mixed store"
+        )
+    if stamp and version != STORE_FORMAT_VERSION:
+        marker.write_text(
+            json.dumps({"version": STORE_FORMAT_VERSION}, sort_keys=True) + "\n"
+        )
+
+
 # -- exact trace (de)serialization --------------------------------------------
 
 
@@ -192,38 +263,128 @@ def _encode_array(arr: np.ndarray) -> dict:
     }
 
 
-def _decode_array(record: dict) -> np.ndarray:
+def _decode_array(record: dict, writable: bool = False) -> np.ndarray:
     raw = base64.b64decode(record["b64"].encode("ascii"))
     arr = np.frombuffer(raw, dtype=np.dtype(record["dtype"]))
-    # copy(): frombuffer yields a read-only view over the bytes object.
-    return arr.reshape(record["shape"]).copy()
+    # frombuffer yields a read-only view over the bytes object — exactly
+    # right for rehydrated traces, which are immutable by contract, so
+    # the copy is opt-in for the rare caller that needs to mutate.
+    arr = arr.reshape(record["shape"])
+    return arr.copy() if writable else arr
+
+
+def _little_endian(arr: np.ndarray) -> np.ndarray:
+    """A C-contiguous little-endian view/copy of ``arr`` (.bin layout)."""
+    dtype = arr.dtype
+    if dtype.byteorder == ">":
+        arr = arr.astype(dtype.newbyteorder("<"))
+    return np.ascontiguousarray(arr)
+
+
+def _b64_nbytes(b64: str) -> int:
+    """Decoded byte length of one base64 block without decoding it."""
+    padding = 2 if b64.endswith("==") else 1 if b64.endswith("=") else 0
+    return len(b64) * 3 // 4 - padding
+
+
+def _bin_reference(value: dict) -> "dict | None":
+    """The binary-block descriptor of a value record, if it has one."""
+    hidden = value.get("hidden") if isinstance(value, dict) else None
+    if isinstance(hidden, dict) and "bin" in hidden:
+        return hidden
+    return None
+
+
+class _BinReader:
+    """Zero-copy reads over a namespace's ``.bin`` tensor sidecars.
+
+    Keeps one read-only :mod:`mmap` per sidecar, remapping when the file
+    has grown past the mapped size (another writer appended). Views are
+    ``np.frombuffer`` slices of the map: read-only, no copy, and they
+    keep the map alive through the buffer protocol even after
+    :meth:`close` — which is why close tolerates :class:`BufferError`.
+    """
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+        self._lock = threading.Lock()
+        self._maps: "dict[str, tuple[mmap.mmap, int]]" = {}
+
+    def view(self, record: dict) -> np.ndarray:
+        """The tensor block ``record`` describes, as a read-only view."""
+        name = str(record["bin"])
+        offset = int(record["offset"])
+        length = int(record["length"])
+        dtype = np.dtype(record["dtype"])
+        shape = tuple(int(n) for n in record["shape"])
+        end = offset + length
+        with self._lock:
+            handle, size = self._maps.get(name, (None, 0))
+            if handle is None or size < end:
+                path = self.directory / name
+                with path.open("rb") as raw:
+                    remapped = mmap.mmap(raw.fileno(), 0, access=mmap.ACCESS_READ)
+                if handle is not None:
+                    _close_mmap(handle)
+                handle, size = remapped, remapped.size()
+                self._maps[name] = (handle, size)
+            if end > size:
+                raise ValueError(
+                    f"binary block {name}@{offset}+{length} reaches past the "
+                    f"{size}-byte sidecar (torn write)"
+                )
+            count = length // dtype.itemsize if dtype.itemsize else 0
+            arr = np.frombuffer(handle, dtype=dtype, count=count, offset=offset)
+            return arr.reshape(shape)
+
+    def close(self) -> None:
+        with self._lock:
+            for handle, _size in self._maps.values():
+                _close_mmap(handle)
+            self._maps.clear()
+
+
+def _close_mmap(handle: mmap.mmap) -> None:
+    try:
+        handle.close()
+    except (BufferError, OSError):
+        # Live numpy views still export the buffer; the map is released
+        # when the last view dies.
+        pass
+
+
+def _steps_to_records(trace: GenerationTrace) -> "list[dict]":
+    return [
+        {
+            "position": int(step.position),
+            "proposed": step.proposed,
+            "max_prob": float(step.max_prob),
+            "item_index": int(step.item_index),
+            "within_index": int(step.within_index),
+            "is_branching": bool(step.is_branching),
+            "committed": step.committed,
+            "forced": bool(step.forced),
+            "decision_point": bool(step.decision_point),
+        }
+        for step in trace.steps
+    ]
 
 
 def trace_to_record(trace: GenerationTrace) -> dict:
-    """A JSON-able, bit-exact record of one generation trace.
+    """A JSON-able, bit-exact, *self-contained* record of one trace.
 
     Hidden states are serialized columnar: the whole ``(n, layers,
     dim)`` tensor as one base64 block (one encode, one decode per
-    trace) rather than one blob per step.
+    trace) rather than one blob per step. This is the v1 inline layout
+    — still what standalone round-trips (artifacts, tests) use; the
+    store's binary writer emits the sidecar-descriptor layout instead
+    (see :class:`PersistentGenerationCache`).
     """
     return {
         "instance_id": trace.instance_id,
         "aborted": bool(trace.aborted),
         "hidden": _encode_array(trace.hidden_matrix()),
-        "steps": [
-            {
-                "position": int(step.position),
-                "proposed": step.proposed,
-                "max_prob": float(step.max_prob),
-                "item_index": int(step.item_index),
-                "within_index": int(step.within_index),
-                "is_branching": bool(step.is_branching),
-                "committed": step.committed,
-                "forced": bool(step.forced),
-                "decision_point": bool(step.decision_point),
-            }
-            for step in trace.steps
-        ],
+        "steps": _steps_to_records(trace),
     }
 
 
@@ -242,15 +403,32 @@ def _step_from_record(step: dict, hidden) -> GenerationStep:
     )
 
 
-def trace_from_record(record: dict) -> GenerationTrace:
+def trace_from_record(
+    record: dict,
+    directory: "str | Path | None" = None,
+    reader: "_BinReader | None" = None,
+) -> GenerationTrace:
     """Rehydrate a trace; inverse of :func:`trace_to_record`.
 
-    Reads both layouts: the columnar format (one ``hidden`` tensor at
-    the trace level, per-step views) and the legacy per-step-blob
-    format still found in pre-``hidden-v2`` stores.
+    Reads all three layouts: the binary sidecar-descriptor format (the
+    ``hidden`` dict names a ``.bin`` block — needs ``directory`` or a
+    ``reader`` to resolve it, served as a zero-copy mmap view), the
+    inline base64 columnar format, and the legacy per-step-blob format
+    still found in pre-``hidden-v2`` stores.
     """
     if "hidden" in record:
-        stack = _decode_array(record["hidden"])
+        hidden = record["hidden"]
+        if "bin" in hidden:
+            if reader is None:
+                if directory is None:
+                    raise ValueError(
+                        "binary trace record references a .bin sidecar; pass "
+                        "the segment directory (or a reader) to resolve it"
+                    )
+                reader = _BinReader(directory)
+            stack = reader.view(hidden)
+        else:
+            stack = _decode_array(hidden)
         steps = [_step_from_record(step, stack[i]) for i, step in enumerate(record["steps"])]
         return GenerationTrace(
             instance_id=record["instance_id"],
@@ -263,6 +441,52 @@ def trace_from_record(record: dict) -> GenerationTrace:
         steps=[_step_from_record(step, _decode_array(step["hidden"])) for step in record["steps"]],
         aborted=record["aborted"],
     )
+
+
+def _rebinarize_value(
+    value, bin_name: str, bin_offset: int, read_block
+) -> "tuple[dict, bytes | None, bool]":
+    """One compaction step: ``value`` rewritten against the new sidecar.
+
+    Returns ``(new_value, block_bytes, was_legacy)``. Already-binary
+    records are relocated by raw byte copy (no decode); inline-base64
+    and legacy per-step-blob records are transcoded to one little-endian
+    columnar block. Values with no tensor payload (or unrecognized
+    shapes) pass through with ``block_bytes=None``.
+    """
+    if not isinstance(value, dict):
+        return value, None, False
+    ref = _bin_reference(value)
+    if ref is not None:
+        block = read_block(str(ref["bin"]), int(ref["offset"]), int(ref["length"]))
+        hidden = dict(ref)
+        hidden.update(bin=bin_name, offset=int(bin_offset))
+        return {**value, "hidden": hidden}, block, False
+    hidden = value.get("hidden")
+    if isinstance(hidden, dict) and "b64" in hidden:
+        stack = _little_endian(_decode_array(hidden))
+    elif "hidden" not in value and value.get("steps"):
+        # Legacy per-step blobs: stack them columnar, strip the blobs.
+        steps = value["steps"]
+        if not all(isinstance(step.get("hidden"), dict) for step in steps):
+            return value, None, False
+        stack = _little_endian(np.stack([_decode_array(s["hidden"]) for s in steps]))
+        value = {
+            **value,
+            "steps": [{k: v for k, v in s.items() if k != "hidden"} for s in steps],
+        }
+    elif "hidden" not in value and not value.get("steps"):
+        stack = _little_endian(np.zeros((0, 0, 0)))
+    else:
+        return value, None, False
+    descriptor = {
+        "dtype": stack.dtype.str,
+        "shape": [int(n) for n in stack.shape],
+        "bin": bin_name,
+        "offset": int(bin_offset),
+        "length": int(stack.nbytes),
+    }
+    return {**value, "hidden": descriptor}, stack.tobytes(), True
 
 
 # -- the compacted SQLite index tier ------------------------------------------
@@ -420,11 +644,18 @@ class PersistentGenerationCache(GenerationCache):
         cache_dir: "str | Path",
         namespace: str = "default",
         use_index: bool = True,
+        codec: "str | None" = None,
     ):
         super().__init__()
         self.cache_dir = Path(cache_dir)
         self.namespace = str(namespace)
         self.use_index = bool(use_index)
+        codec = codec or os.environ.get(CODEC_ENV) or BINARY_CODEC
+        if codec not in (BASE64_CODEC, BINARY_CODEC):
+            raise ValueError(f"unknown store codec {codec!r}")
+        self.codec = codec
+        #: Set by :meth:`compact`: ``{"entries": n, "transcoded": n}``.
+        self.last_compaction: "dict | None" = None
         self._disk_hits = 0
         self._io_lock = threading.Lock()
         self._disk_index: dict[str, dict] = {}  # address -> raw value record
@@ -432,6 +663,9 @@ class PersistentGenerationCache(GenerationCache):
         self._segment_path: "Path | None" = None
         self._lock_path: "Path | None" = None  # this writer's .lock sidecar
         self._handle = None
+        self._bin_handle = None  # the open segment's tensor sidecar
+        self._bin_offset = 0  # bytes appended to the open sidecar
+        self._reader: "_BinReader | None" = None  # mmaps over .bin sidecars
         self._index: "SqliteSegmentIndex | None" = None
         # No eager store scan: every read path (probe_disk, _from_disk,
         # disk_entries) refreshes on demand, so construction is O(1) —
@@ -517,6 +751,9 @@ class PersistentGenerationCache(GenerationCache):
         """Close this writer's segment handle (entries stay on disk)."""
         with self._io_lock:
             self._release_segment_locked()
+            if self._reader is not None:
+                self._reader.close()
+                self._reader = None
             if self._index is not None:
                 self._index.close()
                 self._index = None
@@ -526,6 +763,10 @@ class PersistentGenerationCache(GenerationCache):
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if self._bin_handle is not None:
+            self._bin_handle.close()
+            self._bin_handle = None
+        self._bin_offset = 0
         self._segment_path = None
         if self._lock_path is not None:
             self._lock_path.unlink(missing_ok=True)
@@ -545,7 +786,14 @@ class PersistentGenerationCache(GenerationCache):
         By default (``index=None`` → this cache's ``use_index``) a
         :class:`SqliteSegmentIndex` is rebuilt over the compacted
         segment so cold lookups become O(1) point reads instead of full
-        segment scans. Returns the number of distinct entries kept.
+        segment scans.
+
+        Compaction is also the store's format migrator: every record is
+        rewritten in the binary sidecar layout — already-binary blocks
+        are copied byte-for-byte without decoding, legacy inline-base64
+        and per-step-blob records are transcoded. Returns the number of
+        distinct entries kept; the breakdown (including the transcode
+        count) lands in :attr:`last_compaction`.
         """
         build_index = self.use_index if index is None else bool(index)
         with self._io_lock:
@@ -567,7 +815,9 @@ class PersistentGenerationCache(GenerationCache):
                 self._index = None
             directory = self.directory
             if not directory.is_dir():
+                self.last_compaction = {"entries": 0, "transcoded": 0}
                 return 0
+            _check_store_format(directory, stamp=True)
             # Full independent rescan — including this instance's own
             # segment and any segments an index let refreshes skip.
             entries: dict[str, dict] = {}
@@ -575,20 +825,60 @@ class PersistentGenerationCache(GenerationCache):
             for path in stale:
                 for _size, line, entry in _scan_segment(path, 0):
                     entries[entry["k"]] = entry
-            target = directory / f"c-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
+            stem = f"c-{os.getpid()}-{os.urandom(4).hex()}"
+            target = directory / f"{stem}.jsonl"
+            bin_target = directory / f"{stem}{BIN_SUFFIX}"
+            stale_bins = sorted(directory.glob(f"*{BIN_SUFFIX}"))
+            sources: dict[str, object] = {}  # old sidecar name -> read handle
+
+            def read_block(name: str, at: int, length: int) -> bytes:
+                handle = sources.get(name)
+                if handle is None:
+                    handle = (directory / name).open("rb")
+                    sources[name] = handle
+                handle.seek(at)
+                block = handle.read(length)
+                if len(block) != length:
+                    raise ValueError(f"short read from sidecar {name}")
+                return block
+
             rows: list[tuple[str, str, int, int]] = []
             offset = 0
-            with target.open("wb") as handle:
-                for address in sorted(entries):
-                    line = (json.dumps(entries[address], sort_keys=True) + "\n").encode(
-                        "utf8"
-                    )
-                    handle.write(line)
-                    rows.append((address, target.name, offset, len(line)))
-                    offset += len(line)
+            bin_offset = 0
+            transcoded = 0
+            try:
+                with target.open("wb") as handle, bin_target.open("wb") as bin_handle:
+                    for address in sorted(entries):
+                        entry = dict(entries[address])
+                        value, block, was_legacy = _rebinarize_value(
+                            entry.get("v"), bin_target.name, bin_offset, read_block
+                        )
+                        if block is not None:
+                            bin_handle.write(block)
+                            bin_offset += len(block)
+                            entry["v"] = value
+                            entries[address] = entry
+                            transcoded += int(was_legacy)
+                        line = (json.dumps(entry, sort_keys=True) + "\n").encode("utf8")
+                        handle.write(line)
+                        rows.append((address, target.name, offset, len(line)))
+                        offset += len(line)
+            finally:
+                for handle in sources.values():
+                    handle.close()
+            if bin_offset == 0:
+                bin_target.unlink(missing_ok=True)
             for path in stale:
                 if path != target:
                     path.unlink(missing_ok=True)
+            for path in stale_bins:
+                if path != bin_target:
+                    path.unlink(missing_ok=True)
+            # Old sidecars are gone: drop their maps so future reads map
+            # the compacted one (live views keep the old maps alive).
+            if self._reader is not None:
+                self._reader.close()
+                self._reader = None
             if build_index:
                 self._index = SqliteSegmentIndex.build(
                     directory, rows, [(target.name, offset)]
@@ -599,6 +889,7 @@ class PersistentGenerationCache(GenerationCache):
                 (directory / INDEX_NAME).unlink(missing_ok=True)
                 self._disk_index = {entry["k"]: entry["v"] for entry in entries.values()}
             self._offsets = {target.name: offset}
+            self.last_compaction = {"entries": len(entries), "transcoded": transcoded}
             return len(entries)
 
     # -- disk plumbing -------------------------------------------------------
@@ -647,11 +938,29 @@ class PersistentGenerationCache(GenerationCache):
                 return None, "sqlite"
         return None, None
 
+    def record_to_trace(self, record: dict) -> GenerationTrace:
+        """Rehydrate a probed record, resolving binary blocks via mmap.
+
+        The cache's shared :class:`_BinReader` keeps one map per
+        sidecar, so a warm hit costs a zero-copy view, not a decode.
+        """
+        with self._io_lock:
+            if self._reader is None:
+                self._reader = _BinReader(self.directory)
+            reader = self._reader
+        return trace_from_record(record, reader=reader)
+
     def _from_disk(self, address: str):
         record, _tier = self.probe_disk(address)
         if record is None:
             return _MISS
-        return trace_from_record(record)
+        try:
+            return self.record_to_trace(record)
+        except (OSError, ValueError, KeyError):
+            # A sidecar vanished or tore under us (e.g. a concurrent
+            # compaction, documented as unsafe); fail soft — the caller
+            # recomputes and the store heals on the next spill.
+            return _MISS
 
     def _refresh_locked(self) -> None:
         """Pick up entries appended by other writers since the last scan.
@@ -677,11 +986,10 @@ class PersistentGenerationCache(GenerationCache):
 
     def _spill(self, address: str, key, value: GenerationTrace) -> None:
         kind = key[0] if isinstance(key, tuple) and key else str(key)
-        entry = {"k": address, "kind": kind, "v": trace_to_record(value)}
-        line = json.dumps(entry, sort_keys=True) + "\n"
         with self._io_lock:
             if self._handle is None:
                 self.directory.mkdir(parents=True, exist_ok=True)
+                _check_store_format(self.directory, stamp=self.codec == BINARY_CODEC)
                 name = f"w-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
                 self._segment_path = self.directory / name
                 # The writer lock: a sidecar marking this segment as
@@ -701,7 +1009,33 @@ class PersistentGenerationCache(GenerationCache):
                     )
                 )
                 self._handle = self._segment_path.open("a", encoding="utf8", newline="\n")
-            self._handle.write(line)
+                if self.codec == BINARY_CODEC:
+                    bin_path = self._segment_path.with_suffix(BIN_SUFFIX)
+                    self._bin_handle = bin_path.open("ab")
+                    self._bin_offset = 0
+            if self.codec == BINARY_CODEC:
+                # Sidecar bytes land (and are flushed) before the
+                # manifest line: a manifest entry implies its block.
+                stack = _little_endian(value.hidden_matrix())
+                self._bin_handle.write(stack.tobytes())
+                self._bin_handle.flush()
+                record = {
+                    "instance_id": value.instance_id,
+                    "aborted": bool(value.aborted),
+                    "hidden": {
+                        "dtype": stack.dtype.str,
+                        "shape": [int(n) for n in stack.shape],
+                        "bin": self._segment_path.with_suffix(BIN_SUFFIX).name,
+                        "offset": int(self._bin_offset),
+                        "length": int(stack.nbytes),
+                    },
+                    "steps": _steps_to_records(value),
+                }
+                self._bin_offset += stack.nbytes
+            else:
+                record = trace_to_record(value)
+            entry = {"k": address, "kind": kind, "v": record}
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
             self._handle.flush()
 
     # A cache shipped to a worker process reopens the same store fresh:
@@ -711,6 +1045,7 @@ class PersistentGenerationCache(GenerationCache):
             "cache_dir": str(self.cache_dir),
             "namespace": self.namespace,
             "use_index": self.use_index,
+            "codec": self.codec,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -718,6 +1053,7 @@ class PersistentGenerationCache(GenerationCache):
             state["cache_dir"],
             namespace=state["namespace"],
             use_index=state.get("use_index", True),
+            codec=state.get("codec"),
         )
 
 
@@ -728,7 +1064,12 @@ def _scan_segment(path: Path, consumed: int):
     """Yield ``(consumed_after, raw_line, entry)`` per complete entry.
 
     Starts at byte offset ``consumed`` and stops at a truncated or torn
-    tail — the same tolerance as a reader refresh scan.
+    tail — the same tolerance as a reader refresh scan. A manifest entry
+    whose ``.bin`` block reaches past the sidecar's current size is the
+    binary-format torn tail (the writer died between sidecar flush and
+    manifest flush, or the sidecar was truncated): the scan stops
+    *before* it without advancing ``consumed``, so the loadable prefix
+    is served and the tail is retried on the next refresh.
     """
     try:
         size = path.stat().st_size
@@ -736,6 +1077,7 @@ def _scan_segment(path: Path, consumed: int):
         return
     if size <= consumed:
         return
+    bin_sizes: dict[str, int] = {}
     try:
         with path.open("rb") as handle:
             handle.seek(consumed)
@@ -750,6 +1092,16 @@ def _scan_segment(path: Path, consumed: int):
                     entry = json.loads(stripped.decode("utf8"))
                 except (json.JSONDecodeError, UnicodeDecodeError):
                     return  # torn write
+                ref = _bin_reference(entry.get("v")) if isinstance(entry, dict) else None
+                if ref is not None:
+                    name = str(ref["bin"])
+                    if name not in bin_sizes:
+                        try:
+                            bin_sizes[name] = (path.parent / name).stat().st_size
+                        except OSError:
+                            bin_sizes[name] = 0  # missing sidecar: all torn
+                    if int(ref["offset"]) + int(ref["length"]) > bin_sizes[name]:
+                        return  # torn binary tail: block bytes not landed
                 yield consumed, line, entry
     except OSError:  # pragma: no cover - racing deletion
         return
@@ -762,9 +1114,12 @@ def store_stats(
 
     Scans segments at rest (no cache instance, no writers needed):
     distinct addresses, raw record counts (duplicates included — the
-    compaction headroom), per-kind tallies, byte footprint, and whether
-    a compacted SQLite index covers the namespace. ``namespaces``
-    restricts the (potentially expensive) scan to the named ones.
+    compaction headroom), per-kind tallies, the per-codec mix (how many
+    records and tensor bytes still sit in the legacy base64 layout vs
+    binary sidecar blocks — the migration dashboard), byte footprint,
+    and whether a compacted SQLite index covers the namespace.
+    ``namespaces`` restricts the (potentially expensive) scan to the
+    named ones.
     """
     cache_dir = Path(cache_dir)
     wanted = set(namespaces) if namespaces is not None else None
@@ -776,8 +1131,11 @@ def store_stats(
             segments = sorted(ns_dir.glob("*.jsonl"))
             addresses: set[str] = set()
             kinds: dict[str, int] = {}
+            codecs: dict[str, dict] = {}
             records = 0
             total_bytes = 0
+            for sidecar in ns_dir.glob(f"*{BIN_SUFFIX}"):
+                total_bytes += sidecar.stat().st_size
             for segment in segments:
                 total_bytes += segment.stat().st_size
                 for _consumed, _line, entry in _scan_segment(segment, 0):
@@ -785,6 +1143,10 @@ def store_stats(
                     addresses.add(entry["k"])
                     kind = str(entry.get("kind", "unknown"))
                     kinds[kind] = kinds.get(kind, 0) + 1
+                    codec, nbytes = _record_codec(entry.get("v"))
+                    tally = codecs.setdefault(codec, {"records": 0, "bytes": 0})
+                    tally["records"] += 1
+                    tally["bytes"] += nbytes
             index = SqliteSegmentIndex(ns_dir)
             indexed = index.exists()
             index_entries = 0
@@ -799,8 +1161,29 @@ def store_stats(
                 "entries": len(addresses),
                 "bytes": total_bytes,
                 "kinds": dict(sorted(kinds.items())),
+                "codecs": dict(sorted(codecs.items())),
                 "indexed": indexed,
                 "index_entries": index_entries,
                 "active_writers": len(active_writer_locks(ns_dir)),
             }
     return {"cache_dir": str(cache_dir), "namespaces": namespaces}
+
+
+def _record_codec(value) -> "tuple[str, int]":
+    """``(codec, tensor_bytes)`` of one stored value record."""
+    if not isinstance(value, dict):
+        return "unknown", 0
+    ref = _bin_reference(value)
+    if ref is not None:
+        return BINARY_CODEC, int(ref["length"])
+    hidden = value.get("hidden")
+    if isinstance(hidden, dict) and "b64" in hidden:
+        return BASE64_CODEC, _b64_nbytes(hidden["b64"])
+    if "hidden" not in value and value.get("steps"):
+        nbytes = sum(
+            _b64_nbytes(step["hidden"]["b64"])
+            for step in value["steps"]
+            if isinstance(step.get("hidden"), dict) and "b64" in step["hidden"]
+        )
+        return BASE64_CODEC, nbytes
+    return "unknown", 0

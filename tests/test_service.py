@@ -14,7 +14,11 @@ Pins down the tentpole guarantees:
   generations;
 * the ``repro-cache`` CLI exposes stats/compaction, ``repro-run``
   honors ``--cache-dir`` / ``REPRO_CACHE_DIR``, and ``repro-sweep
-  --progress`` streams to stderr without touching JSON artifacts.
+  --progress`` streams to stderr without touching JSON artifacts;
+* store format v2: binary ``.bin`` sidecars rehydrate warm hits as
+  read-only zero-copy mmap views, legacy base64 records stay readable
+  and ``compact``/``migrate`` transcodes them bit-exactly, and torn
+  sidecar tails degrade like torn manifest tails (loadable prefix).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import json
 import threading
 
+import numpy as np
 import pytest
 
 from helpers import assert_traces_equal, make_trace
@@ -484,7 +489,9 @@ def test_sqlite_index_agrees_with_segment_scan(tmp_path):
     for key in keys:
         record, tier = indexed.probe_disk(indexed.address(key))
         assert tier == "sqlite"
-        assert_traces_equal(trace_from_record(record), scanned[key])
+        assert_traces_equal(
+            trace_from_record(record, directory=indexed.directory), scanned[key]
+        )
     index.close()
     indexed.close()
 
@@ -964,3 +971,191 @@ def test_cache_cli_rejects_unknown_namespace(tmp_path, capsys):
 def test_store_stats_on_empty_or_absent_dir(tmp_path):
     assert store_stats(tmp_path)["namespaces"] == {}
     assert store_stats(tmp_path / "nowhere")["namespaces"] == {}
+
+
+# -- binary store format (v2): sidecars, mmap reads, migration ----------------
+
+
+def _on_disk():
+    return pytest.fail("expected a disk hit, got a recompute")
+
+
+def test_binary_store_round_trip_is_a_read_only_zero_copy_view(tmp_path):
+    trace = make_trace("z0")
+    cache = PersistentGenerationCache(tmp_path, namespace="bin")
+    assert cache.codec == "binary"
+    cache.get_or_compute(("free", "z0"), lambda: trace)
+    directory = cache.directory
+    cache.close()
+    assert list(directory.glob("*.bin")), "binary codec wrote no sidecar"
+
+    reader = PersistentGenerationCache(tmp_path, namespace="bin")
+    loaded = reader.get_or_compute(("free", "z0"), _on_disk)
+    assert_traces_equal(loaded, trace)
+    # The rehydrated stack is a read-only view over the mapped sidecar,
+    # not a decode-and-copy; per-step hidden rows alias it.
+    assert loaded.hidden_stack is not None
+    assert not loaded.hidden_stack.flags.writeable
+    assert not loaded.hidden_stack.flags.owndata
+    for i, step in enumerate(loaded.steps):
+        assert not step.hidden.flags.writeable
+        assert np.shares_memory(step.hidden, loaded.hidden_stack[i])
+    reader.close()
+
+
+def test_decode_array_is_read_only_unless_writable_requested():
+    from repro.runtime.persist import _decode_array, _encode_array
+
+    arr = np.arange(12.0).reshape(3, 4)
+    record = _encode_array(arr)
+    view = _decode_array(record)
+    assert not view.flags.writeable and not view.flags.owndata
+    np.testing.assert_array_equal(view, arr)
+
+    writable = _decode_array(record, writable=True)
+    assert writable.flags.writeable
+    writable[0, 0] = -1.0  # a private copy: later decodes are untouched
+    np.testing.assert_array_equal(_decode_array(record), arr)
+
+
+def test_mixed_codec_store_reads_both_layouts(tmp_path):
+    old, new = make_trace("old"), make_trace("new")
+    legacy = PersistentGenerationCache(tmp_path, namespace="mix", codec="base64")
+    legacy.get_or_compute(("free", "old"), lambda: old)
+    legacy.close()
+    current = PersistentGenerationCache(tmp_path, namespace="mix")
+    current.get_or_compute(("free", "new"), lambda: new)
+    current.close()
+
+    reader = PersistentGenerationCache(tmp_path, namespace="mix")
+    assert_traces_equal(reader.get_or_compute(("free", "old"), _on_disk), old)
+    assert_traces_equal(reader.get_or_compute(("free", "new"), _on_disk), new)
+    reader.close()
+
+    codecs = store_stats(tmp_path)["namespaces"]["mix"]["codecs"]
+    assert set(codecs) == {"base64", "binary"}
+    for mix in codecs.values():
+        assert mix["records"] == 1 and mix["bytes"] > 0
+
+
+def test_compact_transcodes_legacy_records_bit_exactly(tmp_path):
+    traces = {f"t{i}": make_trace(f"t{i}") for i in range(3)}
+    legacy = PersistentGenerationCache(tmp_path, namespace="mig", codec="base64")
+    for name, trace in traces.items():
+        legacy.get_or_compute(("free", name), lambda t=trace: t)
+    legacy.close()
+
+    cache = PersistentGenerationCache(tmp_path, namespace="mig")
+    traces["t3"] = make_trace("t3")
+    cache.get_or_compute(("free", "t3"), lambda: traces["t3"])
+    assert cache.compact() == 4
+    assert cache.last_compaction == {"entries": 4, "transcoded": 3}
+    for name, trace in traces.items():
+        assert_traces_equal(cache.get_or_compute(("free", name), _on_disk), trace)
+    cache.close()
+
+    stats = store_stats(tmp_path)["namespaces"]["mig"]
+    assert set(stats["codecs"]) == {"binary"}
+    assert stats["segments"] == 1
+
+
+def test_env_codec_override_writes_the_legacy_layout(tmp_path, monkeypatch):
+    from repro.runtime.persist import CODEC_ENV
+
+    monkeypatch.setenv(CODEC_ENV, "base64")
+    cache = PersistentGenerationCache(tmp_path, namespace="env")
+    assert cache.codec == "base64"
+    cache.get_or_compute(("free", "k"), lambda: make_trace("k"))
+    directory = cache.directory
+    cache.close()
+    assert not list(directory.glob("*.bin"))
+    codecs = store_stats(tmp_path)["namespaces"]["env"]["codecs"]
+    assert set(codecs) == {"base64"}
+
+
+def test_unknown_codec_is_rejected(tmp_path):
+    with pytest.raises(ValueError, match="codec"):
+        PersistentGenerationCache(tmp_path, namespace="bad", codec="msgpack")
+
+
+def test_future_store_format_version_is_refused(tmp_path):
+    cache = PersistentGenerationCache(tmp_path, namespace="fut")
+    cache.directory.mkdir(parents=True)
+    (cache.directory / "format.json").write_text(json.dumps({"version": 99}))
+    with pytest.raises(RuntimeError, match="format"):
+        cache.get_or_compute(("free", "k"), lambda: make_trace("k"))
+    cache.close()
+
+
+def test_truncated_bin_sidecar_degrades_like_a_truncated_manifest(tmp_path):
+    """A torn sidecar tail keeps the loadable prefix and recomputes the rest."""
+    traces = [make_trace(f"t{i}") for i in range(3)]
+    cache = PersistentGenerationCache(tmp_path, namespace="torn")
+    for i, trace in enumerate(traces):
+        cache.get_or_compute(("free", f"t{i}"), lambda t=trace: t)
+    directory = cache.directory
+    cache.close()
+
+    (bin_path,) = directory.glob("*.bin")
+    payload = bin_path.read_bytes()
+    block = len(payload) // 3
+    bin_path.write_bytes(payload[: 2 * block + block // 2])  # tear the last block
+
+    reader = PersistentGenerationCache(tmp_path, namespace="torn")
+    assert reader.disk_entries() == 2
+    for i in (0, 1):
+        loaded = reader.get_or_compute(("free", f"t{i}"), _on_disk)
+        assert_traces_equal(loaded, traces[i])
+    # The torn entry is a clean miss, not a crash; the recompute respills.
+    assert_traces_equal(
+        reader.get_or_compute(("free", "t2"), lambda: traces[2]), traces[2]
+    )
+    assert reader.stats.misses == 1 and reader.stats.disk_hits == 2
+    reader.close()
+
+
+def test_missing_bin_sidecar_drops_only_that_segments_entries(tmp_path):
+    first, second = make_trace("a"), make_trace("b")
+    cache = PersistentGenerationCache(tmp_path, namespace="gone")
+    cache.get_or_compute(("free", "a"), lambda: first)
+    cache.close()  # retire segment 1
+    cache = PersistentGenerationCache(tmp_path, namespace="gone")
+    cache.get_or_compute(("free", "b"), lambda: second)
+    directory = cache.directory
+    cache.close()
+
+    sidecars = sorted(directory.glob("*.bin"), key=lambda p: p.stat().st_mtime)
+    sidecars[0].unlink()  # segment 1's tensors vanish entirely
+
+    reader = PersistentGenerationCache(tmp_path, namespace="gone")
+    assert reader.disk_entries() == 1
+    assert_traces_equal(reader.get_or_compute(("free", "b"), _on_disk), second)
+    assert_traces_equal(
+        reader.get_or_compute(("free", "a"), lambda: first), first
+    )
+    assert reader.stats.misses == 1
+    reader.close()
+
+
+def test_cache_cli_migrate_alias_reports_transcodes(tmp_path, capsys):
+    from repro.runtime.cli import main_cache
+
+    legacy = PersistentGenerationCache(tmp_path, namespace="ns", codec="base64")
+    for i in range(2):
+        legacy.get_or_compute(("free", f"k{i}"), lambda i=i: make_trace(f"k{i}"))
+    legacy.close()
+
+    assert main_cache(["migrate", "--cache-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)["compacted"]["ns"]
+    assert report["transcoded"] == 2 and report["entries"] == 2
+    assert "transcoded 2 legacy" in captured.err
+
+    assert main_cache(["stats", "--cache-dir", str(tmp_path)]) == 0
+    stats = json.loads(capsys.readouterr().out)["namespaces"]["ns"]
+    assert set(stats["codecs"]) == {"binary"}
+
+    # An already-binary store migrates to a no-op: nothing to transcode.
+    assert main_cache(["migrate", "--cache-dir", str(tmp_path)]) == 0
+    report = json.loads(capsys.readouterr().out)["compacted"]["ns"]
+    assert report["transcoded"] == 0 and report["entries"] == 2
