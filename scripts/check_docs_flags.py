@@ -26,6 +26,7 @@ FLAG = re.compile(r"(?<![\w-])--[a-zA-Z0-9][\w-]*")
 
 def parser_builders() -> dict:
     """name -> zero-arg builder for every installed console script."""
+    from repro.analysis.cli import build_lint_parser
     from repro.runtime.cli import build_cache_parser, build_parser, build_sweep_parser
     from repro.runtime.remote import build_worker_parser
     from repro.runtime.serve import build_serve_parser
@@ -36,6 +37,7 @@ def parser_builders() -> dict:
         "repro-cache": build_cache_parser,
         "repro-serve": build_serve_parser,
         "repro-worker": build_worker_parser,
+        "repro-lint": build_lint_parser,
     }
 
 
@@ -122,7 +124,8 @@ def scan(paths: "list[Path] | None" = None) -> "list[str]":
 
 def main() -> int:
     expected = [REPO / "README.md", REPO / "docs" / "architecture.md",
-                REPO / "docs" / "operations.md", REPO / "docs" / "http-api.md"]
+                REPO / "docs" / "operations.md", REPO / "docs" / "http-api.md",
+                REPO / "docs" / "static-analysis.md"]
     missing = [path for path in expected if not path.is_file()]
     if missing:
         for path in missing:

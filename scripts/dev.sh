@@ -5,6 +5,9 @@
 #   scripts/dev.sh lint          # ruff check + format gate
 #   scripts/dev.sh test          # tier-1 pytest suite
 #   scripts/dev.sh docs-check    # README/docs code-block flags vs --help
+#   scripts/dev.sh lint-invariants # repro-lint: AST invariant checkers
+#                                # (determinism, lock discipline, lifecycle,
+#                                # IPC protocol, exception hygiene)
 #   scripts/dev.sh bench-smoke   # micro-benchmarks once each + JSON artifact
 #   scripts/dev.sh sweep-smoke   # sharded sweep + warm-cache + merge identity
 #   scripts/dev.sh service-smoke # simulator/async/process byte identity,
@@ -31,7 +34,7 @@ lint() {
   }
   ruff check src tests benchmarks examples scripts/check_docs_flags.py
   # New subsystems hold the line on formatting; legacy files migrate over time.
-  ruff format --check src/repro/runtime scripts/check_docs_flags.py tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/test_serve.py tests/test_backend_spec.py tests/test_docs.py tests/helpers.py
+  ruff format --check src/repro/runtime src/repro/analysis scripts/check_docs_flags.py tests/test_runtime.py tests/test_sweep.py tests/test_service.py tests/test_remote.py tests/test_serve.py tests/test_backend_spec.py tests/test_docs.py tests/test_lint.py tests/helpers.py
 }
 
 tier1() {
@@ -40,6 +43,14 @@ tier1() {
 
 docs_check() {
   python scripts/check_docs_flags.py
+}
+
+lint_invariants() {
+  # Same entry point as the installed `repro-lint` console script. The
+  # checked-in baseline is empty on purpose: new findings either get
+  # fixed or carry a reasoned `# repro-lint: ignore[...]` in the diff.
+  python -c 'import sys; from repro.analysis.cli import main_lint; sys.exit(main_lint(sys.argv[1:]))' \
+    src/repro --baseline .repro-lint-baseline.json
 }
 
 bench_smoke() {
@@ -492,10 +503,11 @@ case "${1:-all}" in
   lint) lint ;;
   test) tier1 ;;
   docs-check) docs_check ;;
+  lint-invariants) lint_invariants ;;
   bench-smoke) bench_smoke ;;
   sweep-smoke) sweep_smoke ;;
   service-smoke) service_smoke ;;
   serve-smoke) serve_smoke ;;
-  all) lint; tier1; docs_check; bench_smoke; sweep_smoke; service_smoke; serve_smoke ;;
-  *) echo "usage: scripts/dev.sh [lint|test|docs-check|bench-smoke|sweep-smoke|service-smoke|serve-smoke|all]" >&2; exit 2 ;;
+  all) lint; lint_invariants; tier1; docs_check; bench_smoke; sweep_smoke; service_smoke; serve_smoke ;;
+  *) echo "usage: scripts/dev.sh [lint|lint-invariants|test|docs-check|bench-smoke|sweep-smoke|service-smoke|serve-smoke|all]" >&2; exit 2 ;;
 esac

@@ -1,0 +1,14 @@
+"""repro-lint: AST-based enforcement of this repository's invariants.
+
+Five checkers, one per convention the reliability posture depends on:
+determinism (no entropy/clock/fs-order in the deterministic zones),
+lock-discipline (``# guarded-by:`` / ``# caller holds`` annotations),
+lifecycle (resource-owning classes are context-managed), ipc-protocol
+(supervisor and worker op vocabularies match), and exception-hygiene
+(broad handlers leave a trace). See docs/static-analysis.md for the
+rule catalog and annotation syntax.
+"""
+
+from repro.analysis.core import Finding, LintConfig, lint_paths
+
+__all__ = ["Finding", "LintConfig", "lint_paths"]

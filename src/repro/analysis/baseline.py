@@ -1,0 +1,59 @@
+"""Baseline files: adopt a known debt set without blessing new debt.
+
+A baseline is a JSON file of finding fingerprints (see
+:meth:`repro.analysis.core.Finding.fingerprint` — line-number-free, so
+unrelated edits do not churn it). ``repro-lint --baseline FILE``
+subtracts baselined findings from the report; ``--write-baseline``
+snapshots the current findings into the file. The repository checks in
+an **empty** baseline (``.repro-lint-baseline.json``) on purpose: every
+pre-existing finding was either fixed or suppressed with a reason in
+the PR that introduced this tool, and the gate keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: "str | Path") -> "set[str]":
+    """Fingerprints recorded in ``path`` (missing file = empty set)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline (expected version {BASELINE_VERSION})"
+        )
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: "str | Path", findings: "Sequence[Finding]") -> None:
+    """Snapshot ``findings`` as the new accepted debt set."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: "Iterable[Finding]", fingerprints: "set[str]"
+) -> "tuple[list[Finding], int]":
+    """(surviving findings, count silenced by the baseline)."""
+    kept: "list[Finding]" = []
+    silenced = 0
+    for finding in findings:
+        if finding.fingerprint() in fingerprints:
+            silenced += 1
+        else:
+            kept.append(finding)
+    return kept, silenced

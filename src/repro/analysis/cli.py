@@ -1,0 +1,145 @@
+"""``repro-lint``: run the invariant checkers from the command line.
+
+Exit codes: 0 = clean (or fully baselined), 1 = findings, 2 = usage or
+parse errors. ``--format github`` emits workflow-command annotations so
+the CI job surfaces findings inline on the PR diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.core import RULES, Finding, LintConfig, lint_paths
+
+_RULE_SUMMARIES = {
+    "determinism": "no wall-clock/entropy reads or unsorted fs iteration in deterministic zones",
+    "lock-discipline": (
+        "guarded-by attributes only accessed under their lock or caller-holds methods"
+    ),
+    "lifecycle": "resource-owning classes are with-ed, finally-closed, or handed to an owner",
+    "ipc-protocol": "supervisor/worker op vocabularies match exhaustively in both directions",
+    "exception-hygiene": "broad except blocks re-raise, log, count, or forward the exception",
+    "suppression": "every 'repro-lint: ignore' comment carries a reason",
+    "parse-error": "every scanned file parses",
+}
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis for this repository's reliability invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format: human text, JSON, or GitHub workflow annotations",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON file; baselined findings are silenced",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _emit(findings: "list[Finding]", fmt: str, stream) -> None:
+    if fmt == "json":
+        json.dump([finding.as_dict() for finding in findings], stream, indent=2)
+        stream.write("\n")
+        return
+    for finding in findings:
+        if fmt == "github":
+            stream.write(
+                f"::error file={finding.path},line={finding.line},"
+                f"col={finding.col + 1},title=repro-lint[{finding.rule}]::"
+                f"{finding.message}\n"
+            )
+        else:
+            stream.write(finding.render() + "\n")
+
+
+def main_lint(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule:20s} {_RULE_SUMMARIES.get(rule, '')}")
+        return 0
+
+    rules = tuple(rule.strip() for rule in args.rules.split(",") if rule.strip())
+    unknown = [rule for rule in rules if rule not in RULES]
+    if unknown:
+        print(f"repro-lint: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.write_baseline and not args.baseline:
+        print("repro-lint: --write-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    config = LintConfig(rules=rules)
+    root = args.root if args.root is not None else Path.cwd()
+    findings = lint_paths(args.paths, config=config, root=root)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"repro-lint: wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    silenced = 0
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        findings, silenced = apply_baseline(findings, fingerprints)
+
+    _emit(findings, args.format, sys.stdout)
+
+    if findings and any(f.rule == "parse-error" for f in findings):
+        return 2
+    if args.format == "text" or args.format == "github":
+        tail = f", {silenced} baselined" if silenced else ""
+        print(f"repro-lint: {len(findings)} finding(s){tail}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_lint())

@@ -1,0 +1,234 @@
+"""Checker: no nondeterminism inside the deterministic zones.
+
+The generation kernel (``repro/llm/``) and the layers whose outputs are
+byte-compared across backends (``persist.py``, ``service.py``,
+``sweep.py``) must derive every bit of output from the experiment
+config and the named RNG streams. Two families of violations:
+
+* **entropy/wall-clock reads** — ``time.time``/``time_ns``,
+  ``datetime.now``/``utcnow``/``today``, module-level ``random.*``,
+  ``np.random.*`` convenience calls, zero-argument ``default_rng()``,
+  ``uuid.*``, ``os.urandom``, ``secrets.*``. Seeded constructions
+  (``default_rng(seed)``, ``Generator``/``SeedSequence``/bit-generator
+  classes) are fine.
+* **unsorted filesystem iteration** — ``os.listdir``/``os.scandir``,
+  ``glob.glob``/``iglob``, and ``Path.iterdir``/``glob``/``rglob``
+  whose result is consumed directly. Directory order is
+  filesystem-dependent; wrapping the call in an order-insensitive
+  consumer (``sorted``, ``set``, ``len``, ...) makes it safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, LintConfig, SourceFile, dotted_name, in_zone
+
+RULE = "determinism"
+
+# Fully-qualified callables that read the clock or ambient entropy.
+_BANNED_CALLS = {
+    ("time", "time"): "wall-clock read",
+    ("time", "time_ns"): "wall-clock read",
+    ("datetime", "datetime", "now"): "wall-clock read",
+    ("datetime", "datetime", "utcnow"): "wall-clock read",
+    ("datetime", "datetime", "today"): "wall-clock read",
+    ("datetime", "date", "today"): "wall-clock read",
+    ("os", "urandom"): "ambient entropy",
+    ("uuid", "uuid1"): "ambient entropy (uuid)",
+    ("uuid", "uuid4"): "ambient entropy (uuid)",
+}
+
+# Seeded/explicit RNG constructions allowed inside the zones.
+_ALLOWED_RNG_TAILS = {
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "BitGenerator",
+}
+
+# Filesystem calls whose iteration order is not deterministic.
+_FS_MODULE_CALLS = {("os", "listdir"), ("os", "scandir"), ("glob", "glob"), ("glob", "iglob")}
+_FS_METHODS = {"iterdir", "glob", "rglob"}
+
+# Wrapping one of these around the fs call makes order irrelevant.
+_ORDER_INSENSITIVE = {
+    "sorted",
+    "set",
+    "frozenset",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "list",
+}
+# ``list`` is only order-insensitive when itself sorted later; but
+# ``sorted(list(...))`` is the common idiom and bare ``list(...)`` kept
+# unsorted still surfaces at the consuming loop in review — we accept
+# the approximation and document it in docs/static-analysis.md.
+
+
+def _import_aliases(tree: ast.Module) -> "dict[str, tuple[str, ...]]":
+    """local name -> fully-qualified dotted prefix it stands for."""
+    aliases: "dict[str, tuple[str, ...]]" = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                name = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else name
+                aliases[name] = tuple(target.split("."))
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            base = tuple(node.module.split("."))
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = base + (item.name,)
+    return aliases
+
+
+def _qualify(parts: "tuple[str, ...]", aliases: "dict[str, tuple[str, ...]]") -> "tuple[str, ...]":
+    head = aliases.get(parts[0])
+    if head is not None:
+        return head + parts[1:]
+    return parts
+
+
+def _enclosing_symbol(node: ast.AST, parents: "dict[ast.AST, ast.AST]") -> str:
+    names: "list[str]" = []
+    current: "ast.AST | None" = node
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.append(current.name)
+        current = parents.get(current)
+    return ".".join(reversed(names))
+
+
+def _consumed_unordered(node: ast.Call, parents: "dict[ast.AST, ast.AST]") -> bool:
+    """True when nothing order-insensitive wraps this fs call."""
+    current: ast.AST = node
+    parent = parents.get(current)
+    while parent is not None:
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            if current in parent.args and name in _ORDER_INSENSITIVE:
+                return False
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Module)):
+            break
+        current, parent = parent, parents.get(parent)
+    return True
+
+
+def check(source: SourceFile, config: LintConfig) -> "Iterable[Finding]":
+    if not in_zone(source.display, config.deterministic_zones):
+        return []
+    return list(_scan(source))
+
+
+def _scan(source: SourceFile) -> "Iterator[Finding]":
+    from repro.analysis.core import build_parents
+
+    aliases = _import_aliases(source.tree)
+    parents = build_parents(source.tree)
+
+    def finding(node: ast.AST, message: str, symbol_tail: str) -> Finding:
+        symbol = _enclosing_symbol(node, parents)
+        symbol = f"{symbol}.{symbol_tail}" if symbol else symbol_tail
+        return Finding(
+            rule=RULE,
+            path=source.display,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+            symbol=symbol,
+        )
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = dotted_name(node.func)
+        if parts is None:
+            # Method calls on non-name receivers: catch Path(...).iterdir() etc.
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _FS_METHODS:
+                if _consumed_unordered(node, parents):
+                    yield finding(
+                        node,
+                        f".{node.func.attr}() iterates the filesystem in arbitrary order; "
+                        "wrap in sorted(...)",
+                        node.func.attr,
+                    )
+            continue
+        qualified = _qualify(parts, aliases)
+        dotted = ".".join(qualified)
+
+        reason = _BANNED_CALLS.get(qualified)
+        if reason is not None:
+            yield finding(node, f"{dotted}() is nondeterministic ({reason})", dotted)
+            continue
+
+        if qualified[0] in ("random", "secrets") and len(qualified) >= 2:
+            yield finding(
+                node,
+                f"{dotted}() draws from process-global entropy; use a named, seeded "
+                "numpy Generator stream",
+                dotted,
+            )
+            continue
+        if qualified[0] == "uuid" and len(qualified) >= 2:
+            yield finding(node, f"{dotted}() is nondeterministic (ambient entropy)", dotted)
+            continue
+
+        if (
+            "random" in qualified
+            and qualified[-1] == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            yield finding(
+                node,
+                "default_rng() without a seed draws OS entropy; pass an explicit seed "
+                "or SeedSequence",
+                dotted,
+            )
+            continue
+        if (
+            len(qualified) >= 2
+            and qualified[0] in ("numpy", "np")
+            and "random" in qualified
+            and qualified[-1] not in _ALLOWED_RNG_TAILS
+            and qualified[-1] != "default_rng"
+        ):
+            yield finding(
+                node,
+                f"{dotted}() uses numpy's process-global RNG; use a named Generator stream",
+                dotted,
+            )
+            continue
+
+        # Unsorted filesystem iteration via module functions or methods.
+        if tuple(qualified[:2]) in _FS_MODULE_CALLS or (
+            len(qualified) == 2 and (qualified[0], qualified[1]) in _FS_MODULE_CALLS
+        ):
+            if _consumed_unordered(node, parents):
+                yield finding(
+                    node,
+                    f"{dotted}() returns entries in arbitrary filesystem order; "
+                    "wrap in sorted(...)",
+                    dotted,
+                )
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _FS_METHODS:
+            if _consumed_unordered(node, parents):
+                yield finding(
+                    node,
+                    f".{node.func.attr}() iterates the filesystem in arbitrary order; "
+                    "wrap in sorted(...)",
+                    node.func.attr,
+                )

@@ -1,0 +1,107 @@
+"""Checker: broad exception handlers must not swallow silently.
+
+A bare ``except:``, ``except Exception:`` or ``except BaseException:``
+in the runtime tier is how a dead worker turns into a silent hang.
+Broad handlers are allowed — the supervisor legitimately firewalls
+itself against arbitrary worker failures — but each one must leave a
+trace. A handler passes when its body does at least one of:
+
+* re-raise (any ``raise``);
+* log — a call into ``logging``/``logger``/``log``, a ``print``, or a
+  ``traceback`` helper (``format_exc``/``print_exc``);
+* count — an ``AugAssign`` (``self._n_errors += 1``) so the failure
+  shows up in stats;
+* use the bound exception (``except Exception as exc:`` where ``exc``
+  is actually referenced — e.g. ``future.set_exception(exc)`` forwards
+  the failure instead of dropping it).
+
+Anything else is a swallow and gets flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintConfig, SourceFile, dotted_name, in_zone
+
+RULE = "exception-hygiene"
+
+_BROAD = {"Exception", "BaseException"}
+_LOG_HEADS = {"logging", "logger", "log", "traceback", "warnings"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True  # bare except:
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            return True
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _BROAD:
+            return True
+    return False
+
+
+def _leaves_a_trace(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True  # stats counter increment
+        if isinstance(node, ast.Call):
+            parts = dotted_name(node.func)
+            if parts is not None:
+                if parts[0] in _LOG_HEADS or parts[-1] == "print":
+                    return True
+                if parts[0] == "print":
+                    return True
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            if isinstance(node.ctx, ast.Load) and node is not handler.type:
+                return True
+    return False
+
+
+def _enclosing_symbol(
+    handler: ast.ExceptHandler, parents: "dict[ast.AST, ast.AST]"
+) -> str:
+    names: "list[str]" = []
+    current = parents.get(handler)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.append(current.name)
+        current = parents.get(current)
+    return ".".join(reversed(names))
+
+
+def check(source: SourceFile, config: LintConfig) -> "Iterable[Finding]":
+    if not in_zone(source.display, config.exception_zones):
+        return []
+    from repro.analysis.core import build_parents
+
+    parents = build_parents(source.tree)
+    findings: "list[Finding]" = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node):
+            continue
+        if _leaves_a_trace(node):
+            continue
+        caught = "bare except" if node.type is None else "except Exception"
+        findings.append(
+            Finding(
+                rule=RULE,
+                path=source.display,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{caught} swallows the failure silently: re-raise, log, "
+                    f"increment a stats counter, or forward the bound exception"
+                ),
+                symbol=_enclosing_symbol(node, parents),
+            )
+        )
+    return findings

@@ -1,0 +1,192 @@
+"""Checker: guarded attributes are only touched while their lock is held.
+
+Two annotations drive this checker, both plain trailing comments:
+
+* ``# guarded-by: self._lock`` on the line that declares or first
+  assigns an attribute marks every ``self.<attr>`` access in that class
+  as requiring the lock. A guard that is not an attribute of ``self``
+  (e.g. ``# guarded-by: ProcessBackend._lock`` on a ``_Worker`` field
+  owned by the supervisor's lock) is documentation only — the checker
+  records it but cannot enforce a lock it cannot see from ``self``.
+* ``# caller holds self._lock`` on a ``def`` line (the convention
+  ``remote.py`` already uses) declares that every caller enters with
+  the lock held, so the whole body counts as locked.
+
+Enforcement is lexical: an access is satisfied by an enclosing
+``with self._lock:`` block or a caller-holds annotation on the
+enclosing method. ``__init__`` is exempt (the object is not shared
+yet). Nested ``def``s do **not** inherit the enclosing ``with`` — they
+are typically thread entry points (``Thread(target=read_loop)``) that
+run after the lock is released — but ``lambda``s do, since they are
+overwhelmingly consumed in place. Cross-object accesses
+(``worker.inflight`` from the supervisor) are out of scope; so is
+verifying that callers of a caller-holds method actually hold the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, LintConfig, SourceFile
+
+RULE = "lock-discipline"
+
+_EXEMPT_METHODS = {"__init__"}
+
+
+def _guard_lock_attr(guard: str) -> "str | None":
+    """``self._lock`` -> ``_lock``; non-self guards are unenforceable."""
+    parts = guard.split(".")
+    if len(parts) == 2 and parts[0] == "self":
+        return parts[1]
+    return None
+
+
+def _collect_guards(cls: ast.ClassDef, source: SourceFile) -> "dict[str, str]":
+    """attr name -> guard string, from ``# guarded-by:`` comments."""
+    guards: "dict[str, str]" = {}
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            guard = source.guarded_by(node.lineno)
+            if guard is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    guards[target.attr] = guard
+                elif isinstance(target, ast.Name):
+                    # class-level declaration: ``_started: bool  # guarded-by: ...``
+                    guards[target.id] = guard
+    return guards
+
+
+def _with_locks(node: ast.With) -> "set[str]":
+    """Lock attrs (``self.<attr>``) acquired by one ``with`` statement."""
+    held: "set[str]" = set()
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            held.add(expr.attr)
+    return held
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking which self-locks are held."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        cls_name: str,
+        method_name: str,
+        guards: "dict[str, str]",
+        held: "set[str]",
+    ) -> None:
+        self.source = source
+        self.cls_name = cls_name
+        self.method_name = method_name
+        self.guards = guards
+        self.held = held
+        self.findings: "list[Finding]" = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        acquired = _with_locks(node) - self.held  # re-entry adds nothing
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self.held |= acquired
+        for child in node.body:
+            self.visit(child)
+        self.held -= acquired
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        # A nested def may run on another thread after the enclosing
+        # lock is gone: restart with only its own caller-holds set.
+        nested_held = {
+            attr
+            for attr in (_guard_lock_attr(g) for g in self.source.caller_holds(node))
+            if attr is not None
+        }
+        inner = _MethodScanner(
+            self.source,
+            self.cls_name,
+            f"{self.method_name}.{node.name}",
+            self.guards,
+            nested_held,
+        )
+        for child in node.body:
+            inner.visit(child)
+        self.findings.extend(inner.findings)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.guards
+        ):
+            guard = self.guards[node.attr]
+            lock_attr = _guard_lock_attr(guard)
+            if lock_attr is not None and lock_attr not in self.held:
+                self.findings.append(
+                    Finding(
+                        rule=RULE,
+                        path=self.source.display,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"self.{node.attr} is guarded-by {guard} but accessed "
+                            f"without it; wrap in 'with {guard}:' or annotate the "
+                            f"method '# caller holds {guard}'"
+                        ),
+                        symbol=f"{self.cls_name}.{self.method_name}.{node.attr}",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def check(source: SourceFile, config: LintConfig) -> "Iterable[Finding]":
+    findings: "list[Finding]" = []
+    for cls in ast.walk(source.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guards = _collect_guards(cls, source)
+        if not guards:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _EXEMPT_METHODS:
+                continue
+            held = {
+                attr
+                for attr in (
+                    _guard_lock_attr(g) for g in source.caller_holds(method)
+                )
+                if attr is not None
+            }
+            scanner = _MethodScanner(source, cls.name, method.name, guards, held)
+            for child in method.body:
+                scanner.visit(child)
+            findings.extend(scanner.findings)
+    return findings

@@ -308,7 +308,7 @@ class _BinReader:
     def __init__(self, directory: "str | Path"):
         self.directory = Path(directory)
         self._lock = threading.Lock()
-        self._maps: "dict[str, tuple[mmap.mmap, int]]" = {}
+        self._maps: "dict[str, tuple[mmap.mmap, int]]" = {}  # guarded-by: self._lock
 
     def view(self, record: dict) -> np.ndarray:
         """The tensor block ``record`` describes, as a read-only view."""
@@ -505,7 +505,7 @@ class SqliteSegmentIndex:
     def __init__(self, directory: "str | Path"):
         self.directory = Path(directory)
         self.path = self.directory / INDEX_NAME
-        self._conn: "sqlite3.Connection | None" = None
+        self._conn: "sqlite3.Connection | None" = None  # guarded-by: self._lock
         self._lock = threading.Lock()
 
     def exists(self) -> bool:
@@ -517,8 +517,8 @@ class SqliteSegmentIndex:
                 self._conn.close()
                 self._conn = None
 
-    def _connection(self) -> sqlite3.Connection:
-        # Guarded by self._lock at every call site; one shared read-only
+    def _connection(self) -> sqlite3.Connection:  # caller holds self._lock
+        # One shared read-only
         # connection is plenty (lookups are sub-millisecond point reads).
         # mode=ro is load-bearing: a plain connect() to a just-deleted
         # path would *create* an empty database, permanently poisoning
@@ -600,6 +600,7 @@ class SqliteSegmentIndex:
         ``segments`` are ``(name, size)`` for every covered segment.
         """
         directory = Path(directory)
+        # repro-lint: ignore[determinism] uniqueness token for a writer-private temp file; never reaches record bytes
         tmp = directory / f"{INDEX_NAME}.tmp-{os.getpid()}-{os.urandom(4).hex()}"
         conn = sqlite3.connect(tmp)
         try:
@@ -656,17 +657,17 @@ class PersistentGenerationCache(GenerationCache):
         self.codec = codec
         #: Set by :meth:`compact`: ``{"entries": n, "transcoded": n}``.
         self.last_compaction: "dict | None" = None
-        self._disk_hits = 0
+        self._disk_hits = 0  # guarded-by: self._lock
         self._io_lock = threading.Lock()
-        self._disk_index: dict[str, dict] = {}  # address -> raw value record
-        self._offsets: dict[str, int] = {}  # segment name -> bytes consumed
-        self._segment_path: "Path | None" = None
-        self._lock_path: "Path | None" = None  # this writer's .lock sidecar
-        self._handle = None
-        self._bin_handle = None  # the open segment's tensor sidecar
-        self._bin_offset = 0  # bytes appended to the open sidecar
-        self._reader: "_BinReader | None" = None  # mmaps over .bin sidecars
-        self._index: "SqliteSegmentIndex | None" = None
+        self._disk_index: dict[str, dict] = {}  # guarded-by: self._io_lock
+        self._offsets: dict[str, int] = {}  # guarded-by: self._io_lock
+        self._segment_path: "Path | None" = None  # guarded-by: self._io_lock
+        self._lock_path: "Path | None" = None  # guarded-by: self._io_lock
+        self._handle = None  # guarded-by: self._io_lock
+        self._bin_handle = None  # guarded-by: self._io_lock
+        self._bin_offset = 0  # guarded-by: self._io_lock
+        self._reader: "_BinReader | None" = None  # guarded-by: self._io_lock
+        self._index: "SqliteSegmentIndex | None" = None  # guarded-by: self._io_lock
         # No eager store scan: every read path (probe_disk, _from_disk,
         # disk_entries) refreshes on demand, so construction is O(1) —
         # maintenance flows like `repro-cache compact` never pay for an
@@ -679,7 +680,8 @@ class PersistentGenerationCache(GenerationCache):
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self._hits, misses=self._misses, disk_hits=self._disk_hits)
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, disk_hits=self._disk_hits)
 
     def address(self, key) -> str:
         """The content address of one cache key within this namespace."""
@@ -734,7 +736,7 @@ class PersistentGenerationCache(GenerationCache):
         if miss:
             self._spill(self.address(key), key, value)
 
-    def _disk_hit_count(self) -> None:  # called under self._lock
+    def _disk_hit_count(self) -> None:  # caller holds self._lock
         self._disk_hits += 1
 
     def disk_entries(self) -> int:
@@ -758,8 +760,8 @@ class PersistentGenerationCache(GenerationCache):
                 self._index.close()
                 self._index = None
 
-    def _release_segment_locked(self) -> None:
-        """Retire the open segment and its writer lock (io_lock held)."""
+    def _release_segment_locked(self) -> None:  # caller holds self._io_lock
+        """Retire the open segment and its writer lock."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -774,6 +776,10 @@ class PersistentGenerationCache(GenerationCache):
 
     def writer_locks(self) -> "list[dict]":
         """Live writer locks held by *other* writers in this namespace."""
+        with self._io_lock:
+            return self._writer_locks_locked()
+
+    def _writer_locks_locked(self) -> "list[dict]":  # caller holds self._io_lock
         return active_writer_locks(self.directory, exclude=self._lock_path)
 
     def compact(self, index: "bool | None" = None, force: bool = False) -> int:
@@ -798,7 +804,7 @@ class PersistentGenerationCache(GenerationCache):
         build_index = self.use_index if index is None else bool(index)
         with self._io_lock:
             self._release_segment_locked()
-            active = self.writer_locks()
+            active = self._writer_locks_locked()
             if active and not force:
                 holders = ", ".join(
                     f"{Path(lock['path']).name} (pid {lock['pid']}, host "
@@ -825,6 +831,7 @@ class PersistentGenerationCache(GenerationCache):
             for path in stale:
                 for _size, line, entry in _scan_segment(path, 0):
                     entries[entry["k"]] = entry
+            # repro-lint: ignore[determinism] uniqueness token for the compactor-private segment name; never reaches record bytes
             stem = f"c-{os.getpid()}-{os.urandom(4).hex()}"
             target = directory / f"{stem}.jsonl"
             bin_target = directory / f"{stem}{BIN_SUFFIX}"
@@ -894,8 +901,8 @@ class PersistentGenerationCache(GenerationCache):
 
     # -- disk plumbing -------------------------------------------------------
 
-    def _index_locked(self) -> "SqliteSegmentIndex | None":
-        """The SQLite index handle, if attached or discoverable (io_lock held).
+    def _index_locked(self) -> "SqliteSegmentIndex | None":  # caller holds self._io_lock
+        """The SQLite index handle, if attached or discoverable.
 
         An index this instance explicitly built (``compact(index=True)``)
         is always honored; ``use_index=False`` only stops the cache from
@@ -962,7 +969,7 @@ class PersistentGenerationCache(GenerationCache):
             # recomputes and the store heals on the next spill.
             return _MISS
 
-    def _refresh_locked(self) -> None:
+    def _refresh_locked(self) -> None:  # caller holds self._io_lock
         """Pick up entries appended by other writers since the last scan.
 
         Segments covered by a compacted SQLite index are skipped — their
@@ -990,6 +997,7 @@ class PersistentGenerationCache(GenerationCache):
             if self._handle is None:
                 self.directory.mkdir(parents=True, exist_ok=True)
                 _check_store_format(self.directory, stamp=self.codec == BINARY_CODEC)
+                # repro-lint: ignore[determinism] uniqueness token for this writer's private segment name; never reaches record bytes
                 name = f"w-{os.getpid()}-{os.urandom(4).hex()}.jsonl"
                 self._segment_path = self.directory / name
                 # The writer lock: a sidecar marking this segment as
@@ -1134,7 +1142,7 @@ def store_stats(
             codecs: dict[str, dict] = {}
             records = 0
             total_bytes = 0
-            for sidecar in ns_dir.glob(f"*{BIN_SUFFIX}"):
+            for sidecar in sorted(ns_dir.glob(f"*{BIN_SUFFIX}")):
                 total_bytes += sidecar.stat().st_size
             for segment in segments:
                 total_bytes += segment.stat().st_size

@@ -308,7 +308,7 @@ class PipeTransport:
     def recv(self) -> "dict | None":
         try:
             return recv_message(self.proc.stdout)
-        except Exception:  # torn pickle == dying worker
+        except Exception:  # repro-lint: ignore[exception-hygiene] torn pickle == dying worker; None tells the read loop to recover it
             return None
 
     def alive(self) -> bool:
@@ -347,7 +347,7 @@ class SocketTransport:
     def recv(self) -> "dict | None":
         try:
             return recv_message(self._rfile)
-        except Exception:  # closed under us / torn pickle == dead peer
+        except Exception:  # repro-lint: ignore[exception-hygiene] closed under us / torn pickle == dead peer; None triggers recovery
             return None
 
     def alive(self) -> bool:
@@ -388,7 +388,7 @@ def _untrack_shm(shm: shared_memory.SharedMemory) -> None:
     """
     try:
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals shifted
+    except Exception:  # pragma: no cover  # repro-lint: ignore[exception-hygiene] best-effort tracker opt-out; a tracker API change must never break the data plane
         pass
 
 
@@ -515,8 +515,8 @@ def _send_result(send: Callable, arena: "_WorkerArena | None", request_id, trace
     if arena is not None and arena.enabled:
         try:
             placed = arena.stash(trace)
-        except Exception:
-            placed = None  # any arena failure means inline, never a loss
+        except Exception:  # repro-lint: ignore[exception-hygiene] any arena failure falls back to the inline path, never a loss
+            placed = None
         if placed is not None:
             stripped, descriptor = placed
             send({"op": "result", "id": request_id, "trace": stripped, "shm": descriptor})
@@ -676,12 +676,14 @@ def socket_worker_main(
             }
         )
         init = transport.recv()
+        if isinstance(init, dict) and init.get("op") == "goodbye":
+            # The supervisor's polite rejection (fleet full, bad token):
+            # report its reason and exit cleanly instead of retrying.
+            reason = init.get("reason") or "no reason given"
+            print(f"repro-worker: rejected by supervisor: {reason}", file=sys.stderr)
+            return 1
         if init is None or init.get("op") != "init":
-            reason = init.get("reason") if isinstance(init, dict) else None
-            if reason:
-                print(f"repro-worker: rejected by supervisor: {reason}", file=sys.stderr)
-            else:
-                print("repro-worker: no init message; exiting", file=sys.stderr)
+            print("repro-worker: no init message; exiting", file=sys.stderr)
             return 1
         llm = init["llm"]
         stop = threading.Event()
@@ -887,13 +889,13 @@ class _Worker:
         self.log_handle = log_handle
         self.write_lock = threading.Lock()
         self.ready = threading.Event()
-        self.dead = False  # guarded by the supervisor lock
-        self.draining = False  # guarded by the supervisor lock
+        self.dead = False  # guarded-by: ProcessBackend._lock
+        self.draining = False  # guarded-by: ProcessBackend._lock
         self.reader: "threading.Thread | None" = None
         self.pid: "int | None" = proc.pid if proc is not None else None
         self.remote = remote  # joined over the wire, not spawned by us
         self.ewma_s: "float | None" = None  # observed request latency
-        self.inflight = 0  # guarded by the supervisor lock
+        self.inflight = 0  # guarded-by: ProcessBackend._lock
         self.last_seen = time.monotonic()
         # The worker's shared-memory arena, attached supervisor-side
         # (None for cross-machine workers and the inline data plane).
@@ -993,34 +995,34 @@ class ProcessBackend:
         self._log_dir_arg = log_dir
         self.log_dir = Path(log_dir) if log_dir is not None else None
         self._lock = threading.RLock()
-        self._started = False
-        self._closing = False
-        self._fleet: "list[_Worker]" = []
-        self._pending: "dict[int, _Pending]" = {}
-        self._next_id = 0
-        self._next_worker_index = 0
-        self._rr = 0
-        self._n_spawned = 0
-        self._n_restarts = 0
-        self._n_requeued = 0
-        self._n_duplicate_results = 0
-        self._n_external = 0
-        self._n_heartbeats = 0
-        self._n_deadline_exceeded = 0
-        self._n_drained = 0
-        self._n_rejected_hellos = 0
-        self._n_shm_results = 0
-        self._n_shm_bytes = 0
+        self._started = False  # guarded-by: self._lock
+        self._closing = False  # guarded-by: self._lock
+        self._fleet: "list[_Worker]" = []  # guarded-by: self._lock
+        self._pending: "dict[int, _Pending]" = {}  # guarded-by: self._lock
+        self._next_id = 0  # guarded-by: self._lock
+        self._next_worker_index = 0  # guarded-by: self._lock
+        self._rr = 0  # guarded-by: self._lock
+        self._n_spawned = 0  # guarded-by: self._lock
+        self._n_restarts = 0  # guarded-by: self._lock
+        self._n_requeued = 0  # guarded-by: self._lock
+        self._n_duplicate_results = 0  # guarded-by: self._lock
+        self._n_external = 0  # guarded-by: self._lock
+        self._n_heartbeats = 0  # guarded-by: self._lock
+        self._n_deadline_exceeded = 0  # guarded-by: self._lock
+        self._n_drained = 0  # guarded-by: self._lock
+        self._n_rejected_hellos = 0  # guarded-by: self._lock
+        self._n_shm_results = 0  # guarded-by: self._lock
+        self._n_shm_bytes = 0  # guarded-by: self._lock
         # Deadline-disowned in-flight ids → the worker still computing
         # them; their late results adjust bookkeeping, never duplicate.
-        self._expired: "dict[int, _Worker]" = {}
+        self._expired: "dict[int, _Worker]" = {}  # guarded-by: self._lock
         self._init_blob: "bytes | None" = None
         self._listener: "socket.socket | None" = None
         self._listen_address: "str | None" = None
         self._acceptor: "threading.Thread | None" = None
         self._handshake_lock = threading.Lock()
-        self._spawn_waiters: "dict[str, dict]" = {}
-        self._last_dead: "_Worker | None" = None
+        self._spawn_waiters: "dict[str, dict]" = {}  # guarded-by: self._handshake_lock
+        self._last_dead: "_Worker | None" = None  # guarded-by: self._lock
 
     # -- protocol surface ----------------------------------------------------
 
@@ -1056,7 +1058,8 @@ class ProcessBackend:
 
     @property
     def restarts(self) -> int:
-        return self._n_restarts
+        with self._lock:
+            return self._n_restarts
 
     @property
     def address(self) -> "str | None":
@@ -1354,7 +1357,7 @@ class ProcessBackend:
             return ""
         return "\n".join(lines[-limit:])
 
-    def _crash_context(self) -> str:
+    def _crash_context(self) -> str:  # caller holds self._lock
         """Log forensics appended to the restart-budget-exhausted error."""
         worker = self._last_dead
         tail = self._log_tail(worker)
@@ -1407,6 +1410,7 @@ class ProcessBackend:
             if not self._closing:
                 try:
                     self._replenish()
+                # repro-lint: ignore[exception-hygiene] a replacement that won't boot must not fail the health check
                 except Exception:
                     # A replacement that won't boot must not fail a
                     # batch the survivors could serve; with no survivor
@@ -1456,6 +1460,7 @@ class ProcessBackend:
             ):
                 try:
                     self._spawn_worker()
+                # repro-lint: ignore[exception-hygiene] capacity dips by one; check_health's _replenish covers the gap
                 except Exception:
                     # Capacity dips by one; check_health's _replenish
                     # (restart budget) covers the gap after the drain.
@@ -1659,7 +1664,7 @@ class ProcessBackend:
         self._dispatch(pending)
         return pending
 
-    def _pick_worker(self, fleet: "list[_Worker]") -> _Worker:
+    def _pick_worker(self, fleet: "list[_Worker]") -> _Worker:  # caller holds self._lock
         """Latency-aware scheduling: least expected completion time.
 
         Each worker's cost is its latency EWMA scaled by queue depth, so
@@ -1779,6 +1784,7 @@ class ProcessBackend:
                         message["trace"] = self._rehydrate_shm(
                             worker, message["trace"], message["shm"]
                         )
+                    # repro-lint: ignore[exception-hygiene] torn data plane == torn frame: break retires the worker and requeues
                     except Exception:
                         # A descriptor we cannot honor is a torn data
                         # plane: same recovery as a torn frame — retire
@@ -1916,6 +1922,7 @@ class ProcessBackend:
             if not closing:
                 try:
                     self._replenish()
+                # repro-lint: ignore[exception-hygiene] a failed replacement must not strand the orphans; dispatch still tries survivors
                 except Exception:
                     # A replacement that won't boot must not strand the
                     # orphans: dispatch below still tries the survivors

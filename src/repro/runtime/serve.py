@@ -152,9 +152,9 @@ class LatencyHistogram:
     def __init__(self, bounds: "tuple[float, ...]" = LATENCY_BUCKETS_MS):
         self.bounds = tuple(float(bound) for bound in bounds)
         self._lock = threading.Lock()
-        self._counts = [0] * (len(self.bounds) + 1)  # +1: the +Inf bucket
-        self._count = 0
-        self._sum_ms = 0.0
+        self._counts = [0] * (len(self.bounds) + 1)  # guarded-by: self._lock
+        self._count = 0  # guarded-by: self._lock
+        self._sum_ms = 0.0  # guarded-by: self._lock
 
     def record(self, value_ms: float) -> None:
         value = float(value_ms)
@@ -228,17 +228,19 @@ class ServeApp:
         self.auth_token = auth_token
         self._started_at = time.monotonic()
         self._counter_lock = threading.Lock()
-        self._n_queries = 0
-        self._n_abstained = 0
-        self._n_errors = 0
-        self._n_deadline_exceeded = 0
-        self._n_unauthorized = 0
-        self._by_question: "dict[tuple[str, str], str]" = {}
+        self._n_queries = 0  # guarded-by: self._counter_lock
+        self._n_abstained = 0  # guarded-by: self._counter_lock
+        self._n_errors = 0  # guarded-by: self._counter_lock
+        self._n_deadline_exceeded = 0  # guarded-by: self._counter_lock
+        self._n_unauthorized = 0  # guarded-by: self._counter_lock
+        self._by_question: "dict[tuple[str, str], str]" = {}  # guarded-by: self._counter_lock
         self._latency_lock = threading.Lock()
+        # Fixed keys, never rebound after __init__; the histograms do
+        # their own locking — only _tier_latency grows at runtime.
         self._endpoint_latency = {
             name: LatencyHistogram() for name in ("query", "healthz", "stats")
         }
-        self._tier_latency: "dict[str, LatencyHistogram]" = {}
+        self._tier_latency: "dict[str, LatencyHistogram]" = {}  # guarded-by: self._latency_lock
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -263,9 +265,10 @@ class ServeApp:
                     self.ctx.pipeline(name)
                     for split_name in ("train", "dev", "test"):
                         for example in bench.split(split_name):
-                            self._by_question.setdefault(
-                                (name, example.question), example.example_id
-                            )
+                            with self._counter_lock:
+                                self._by_question.setdefault(
+                                    (name, example.question), example.example_id
+                                )
         finally:
             if saved is not None:
                 backend.request_timeout_s = saved
@@ -480,7 +483,8 @@ class ServeApp:
             question = payload.get("question")
             if question is None:
                 raise ApiError(400, "pass an example_id or a question")
-            example_id = self._by_question.get((name, question))
+            with self._counter_lock:
+                example_id = self._by_question.get((name, question))
             if example_id is None:
                 raise ApiError(404, f"no {name} example asks {question!r}")
         for split_name in ("train", "dev", "test"):

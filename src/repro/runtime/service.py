@@ -652,7 +652,7 @@ class AsyncBatchedBackend:
             None if request_timeout_s is None else float(request_timeout_s)
         )
         self._lock = threading.Lock()
-        self._started = False
+        self._started = False  # guarded-by: self._lock
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self._queue: "asyncio.Queue | None" = None
@@ -681,6 +681,7 @@ class AsyncBatchedBackend:
     # -- lifecycle -----------------------------------------------------------
 
     def _ensure_started(self) -> None:
+        # repro-lint: ignore[lock-discipline] double-checked fast path: a stale False retries under the lock, a stale True is impossible (only ever set True)
         if self._started:
             return
         with self._lock:
@@ -924,7 +925,7 @@ class GenerationService:
         if self._persistent:
             tiers += [SEGMENT_TIER, SQLITE_TIER]
         self._tier_lock = threading.Lock()
-        self._tiers = {name: _TierCounter() for name in tiers}
+        self._tiers = {name: _TierCounter() for name in tiers}  # guarded-by: self._tier_lock
 
     @classmethod
     def build(
